@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of E10 (Table 5 — ablations)."""
+
+from conftest import run_experiment_once
+from repro.experiments import ablations
+
+
+def test_e10_ablations(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, ablations.run, **quick_kwargs)
+    table = result.artifacts[0]
+    rows = {row[0]: row for row in table.rows}
+    runs = table.rows[0][1]
+    # The paper's configuration (prescient oracle) delivers, quiesces and
+    # satisfies the URB properties even with a minority of correct processes.
+    prescient = rows["a) prescient AΘ/AP* (CORRECT_ONLY), minority correct"]
+    assert prescient[2] == runs and prescient[3] == runs and prescient[4] == runs
+    # Retirement disabled: still correct, but never quiescent.
+    no_retire = rows["b) retirement disabled"]
+    assert no_retire[4] == runs
+    assert no_retire[3] == 0

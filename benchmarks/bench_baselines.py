@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of E9 (Table 4 — baseline comparison)."""
+
+from conftest import run_experiment_once
+from repro.experiments import baseline_comparison
+
+
+def test_e9_baseline_comparison(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, baseline_comparison.run, **quick_kwargs)
+    table = result.artifacts[0]
+    coverage = dict(zip(
+        table.column("protocol"),
+        table.column("mean fraction of correct processes fully delivered"),
+    ))
+    uniform_ok = dict(zip(table.column("protocol"),
+                          table.column("uniform agreement ok")))
+    runs = table.column("runs")[0]
+    # The URB protocols reach full coverage and keep uniform agreement.
+    for protocol in ("algorithm1", "algorithm2", "identified_urb"):
+        assert coverage[protocol] == 1.0
+        assert uniform_ok[protocol] == runs
+    # Best-effort broadcast cannot reach full coverage under heavy loss.
+    assert coverage["best_effort"] < 1.0

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These complement the experiment macro-benchmarks: they track the cost of the
+operations a simulated run is made of (event scheduling, channel transmits,
+ACK bookkeeping, failure-detector views, full small runs), which is what
+scalability of the harness itself depends on.
+"""
+
+import random
+
+from repro.core.messages import TaggedMessage
+from repro.core.state import Algorithm2State
+from repro.experiments.config import Scenario
+from repro.experiments.runner import run_scenario
+from repro.failure_detectors.atheta import AThetaOracle
+from repro.failure_detectors.labels import Label
+from repro.failure_detectors.oracle import GroundTruthOracle
+from repro.network.channel import LossyChannel
+from repro.network.delay import FixedDelay
+from repro.network.loss import BernoulliLoss, LossSpec
+from repro.simulation.events import EventKind
+from repro.simulation.faults import CrashSchedule
+from repro.simulation.scheduler import EventQueue
+from repro.workloads.generators import SingleBroadcast
+
+
+def test_event_queue_throughput(benchmark):
+    """Push/pop 10k events through the scheduler."""
+
+    def run():
+        queue = EventQueue()
+        for i in range(10_000):
+            queue.schedule(float(i % 97), EventKind.TICK, target=i % 8)
+        while queue:
+            queue.pop()
+        return queue.popped_count
+
+    assert benchmark(run) == 10_000
+
+
+def test_channel_transmit_throughput(benchmark):
+    """10k transmits through a lossy channel with the fairness guard."""
+    channel = LossyChannel(0, 1, BernoulliLoss(0.3, random.Random(0)),
+                           FixedDelay(0.2), fairness_bound=25)
+
+    def run():
+        for t in range(10_000):
+            channel.transmit(t % 50, float(t))
+        return channel.stats.attempts
+
+    assert benchmark(run) >= 10_000
+
+
+def test_ack_bookkeeping_throughput(benchmark):
+    """Record 5k labelled ACKs (the Algorithm 2 hot path)."""
+    labels = [Label(i) for i in range(8)]
+    messages = [TaggedMessage(f"m{i}", i) for i in range(20)]
+    rng = random.Random(0)
+    events = [
+        (messages[rng.randrange(len(messages))], rng.randrange(40),
+         frozenset(rng.sample(labels, rng.randrange(len(labels) + 1))))
+        for _ in range(5_000)
+    ]
+
+    def run():
+        state = Algorithm2State()
+        for message, ack_tag, label_set in events:
+            state.record_labeled_ack(message, ack_tag, label_set)
+        return sum(state.distinct_ack_count(m) for m in messages)
+
+    assert benchmark(run) > 0
+
+
+def test_failure_detector_view_cost(benchmark):
+    """Query the AΘ oracle 2k times (once per ACK in a large run)."""
+    schedule = CrashSchedule.crash_at(8, {6: 5.0, 7: 9.0})
+    oracle = GroundTruthOracle(schedule, rng=random.Random(0))
+    atheta = AThetaOracle(oracle, detection_delay=2.0, learn_delay=3.0,
+                          rng=random.Random(1))
+
+    def run():
+        total = 0
+        for i in range(2_000):
+            view = atheta.view(i % 8, float(i % 60))
+            total += len(view)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_full_algorithm1_run(benchmark):
+    """One complete Algorithm 1 run (n=6, lossy channels, early stop)."""
+    scenario = Scenario(
+        name="bench-a1", algorithm="algorithm1", n_processes=6,
+        loss=LossSpec.bernoulli(0.2), max_time=80.0,
+        stop_when_all_correct_delivered=True,
+        workload=SingleBroadcast(sender=0, time=0.0), trace_enabled=False,
+    )
+    result = benchmark.pedantic(lambda: run_scenario(scenario), rounds=3,
+                                iterations=1)
+    assert result.metrics.deliveries == 6
+
+
+def test_full_algorithm2_run(benchmark):
+    """One complete Algorithm 2 run (n=6, lossy channels, crash, quiescence)."""
+    scenario = Scenario(
+        name="bench-a2", algorithm="algorithm2", n_processes=6,
+        loss=LossSpec.bernoulli(0.2), crashes={5: 2.0}, max_time=120.0,
+        stop_when_quiescent=True, drain_grace_period=2.0,
+        workload=SingleBroadcast(sender=0, time=0.0), trace_enabled=False,
+    )
+    result = benchmark.pedantic(lambda: run_scenario(scenario), rounds=3,
+                                iterations=1)
+    assert result.metrics.deliveries >= 5

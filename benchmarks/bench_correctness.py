@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of E1 (Table 1 — correctness matrix)."""
+
+from conftest import run_experiment_once
+from repro.experiments import correctness
+
+
+def test_e1_correctness_matrix(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, correctness.run, **quick_kwargs)
+    table = result.artifacts[0]
+    # Every configuration must satisfy all three URB properties in every run.
+    runs = table.column("runs")
+    assert table.column("validity ok") == runs
+    assert table.column("agreement ok") == runs
+    assert table.column("integrity ok") == runs

@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of E8 (Table 3 — crash tolerance)."""
+
+from conftest import run_experiment_once
+from repro.experiments import crash_tolerance
+
+
+def test_e8_crash_tolerance(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, crash_tolerance.run, **quick_kwargs)
+    table = result.artifacts[0]
+    for row in table.rows:
+        algorithm, _, has_majority, runs, delivered = row[0], row[1], row[2], row[3], row[4]
+        agreement_ok, integrity_ok = row[6], row[7]
+        # Safety holds for every algorithm in every regime.
+        assert agreement_ok == runs
+        assert integrity_ok == runs
+        if algorithm == "algorithm2":
+            assert delivered == runs
+        elif not has_majority:
+            assert delivered == 0

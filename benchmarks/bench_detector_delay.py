@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of E7 (Figure 5 — detection delay impact)."""
+
+from conftest import run_experiment_once
+from repro.experiments import detector_delay
+
+
+def test_e7_detector_delay(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, detector_delay.run, **quick_kwargs)
+    figure = result.artifacts[0]
+    # Safety is unaffected by the detection delay.
+    assert all(fraction == 1.0
+               for fraction in figure.column("URB properties hold fraction"))
+    # Liveness degrades monotonically (larger delay, later delivery).
+    latencies = figure.column("mean delivery latency")
+    assert latencies == sorted(latencies)

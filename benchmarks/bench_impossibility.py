@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of E6 (Table 2 — impossibility demonstration)."""
+
+from conftest import run_experiment_once
+from repro.experiments import impossibility
+
+
+def test_e6_impossibility(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, impossibility.run, **quick_kwargs)
+    table = result.artifacts[0]
+    violations = table.column("uniform agreement violations")
+    blocked = table.column("runs blocked (no delivery)")
+    runs = table.column("runs")
+    # Sub-majority threshold: every run violates Uniform Agreement.
+    assert violations[0] == runs[0]
+    # Proper majority: no violation, but every run blocks.
+    assert violations[1] == 0
+    assert blocked[1] == runs[1]

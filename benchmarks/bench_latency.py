@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of E2 (Figure 1 — latency vs loss)."""
+
+from conftest import run_experiment_once
+from repro.experiments import latency_vs_loss
+
+
+def test_e2_latency_vs_loss(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, latency_vs_loss.run, **quick_kwargs)
+    combined = result.artifact("Figure 1 — combined series")
+    latencies = combined.column("mean latency")
+    assert all(value is not None and value > 0 for value in latencies)
+    # Latency must not improve as the loss probability grows (per algorithm).
+    for algorithm in ("algorithm1", "algorithm2"):
+        series = [
+            (row[1], row[2]) for row in combined.rows if row[0] == algorithm
+        ]
+        series.sort()
+        assert series[0][1] <= series[-1][1] * 1.05

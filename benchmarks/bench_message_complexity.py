@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of E3 (Figure 2 — cumulative sends over time)."""
+
+from conftest import run_experiment_once
+from repro.experiments import message_complexity
+
+
+def test_e3_quiescence_curves(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, message_complexity.run, **quick_kwargs)
+    figure = result.artifact("Figure 2 — cumulative sends over time")
+    a1 = figure.column("algorithm1 cumulative sends")
+    a2 = figure.column("algorithm2 cumulative sends")
+    # Algorithm 1 keeps sending until the horizon; Algorithm 2 flattens.
+    assert a1[-1] > 2 * a2[-1]
+    assert a2[-1] == a2[len(a2) // 2]
+    summary = result.artifact("Table — totals and quiescence")
+    quiescent_runs = dict(zip(summary.column("algorithm"),
+                              summary.column("quiescent runs")))
+    assert quiescent_runs["algorithm2"] > 0
+    assert quiescent_runs["algorithm1"] == 0

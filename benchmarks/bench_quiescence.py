@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of E4 (Figure 3 — quiescence time)."""
+
+from conftest import run_experiment_once
+from repro.experiments import quiescence_time
+
+
+def test_e4_quiescence_time(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, quiescence_time.run, **quick_kwargs)
+    loss_figure = result.artifact("Figure 3a — quiescence time vs loss probability")
+    assert all(fraction == 1.0 for fraction in loss_figure.column("quiescent fraction"))
+    delay_figure = result.artifact(
+        "Figure 3b — quiescence time vs detection delay (1 crash)"
+    )
+    last_sends = delay_figure.column("mean last send time")
+    # Larger detection delays cannot make quiescence happen earlier.
+    assert last_sends == sorted(last_sends)

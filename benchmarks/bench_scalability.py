@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of E5 (Figure 4 — scalability with n)."""
+
+from conftest import run_experiment_once
+from repro.experiments import scalability
+
+
+def test_e5_scalability(benchmark, quick_kwargs):
+    result = run_experiment_once(benchmark, scalability.run, **quick_kwargs)
+    combined = result.artifact("Figure 4 — combined series")
+    for algorithm in ("algorithm1", "algorithm2"):
+        rows = [row for row in combined.rows if row[0] == algorithm]
+        rows.sort(key=lambda row: row[1])
+        sends = [row[3] for row in rows]
+        # Traffic grows super-linearly with n (≈ n² per acknowledgement
+        # round): the largest system must send clearly more than
+        # proportionally to the smallest.
+        n_small, n_large = rows[0][1], rows[-1][1]
+        assert sends[-1] > sends[0] * (n_large / n_small) * 1.1

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark runs the corresponding experiment module in
+*quick* mode (reduced grids, one seed) through ``pytest-benchmark`` so that
+``pytest benchmarks/ --benchmark-only`` both measures the harness and
+regenerates a (reduced) version of every table and figure.  Full-scale
+reports are produced with ``python -m repro run all`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_once(benchmark, runner, **kwargs):
+    """Run *runner* exactly once under the benchmark harness.
+
+    Experiments are macro-benchmarks (hundreds of milliseconds to seconds),
+    so a single round keeps the suite fast while still producing a timing.
+    """
+    return benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+
+
+@pytest.fixture
+def quick_kwargs():
+    """Arguments that put every experiment into its fast configuration."""
+    return {"quick": True, "seeds": 1}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Crash tolerance: URB with and without a correct majority.
+
+Algorithm 1 needs a majority of correct processes (paper §III/§IV); with the
+anonymous failure detectors AΘ and AP*, Algorithm 2 delivers with *any*
+number of crashes (§VI).  This example crashes an increasing number of
+processes at time zero and reports who still manages to deliver.
+
+Run with::
+
+    python examples/crash_tolerance_demo.py
+"""
+
+from repro import Scenario, run_scenario
+from repro.analysis.tables import render_table
+from repro.network import LossSpec
+
+N_PROCESSES = 7
+
+
+def run(algorithm: str, n_crashes: int):
+    crashes = {N_PROCESSES - 1 - i: 0.0 for i in range(n_crashes)}
+    scenario = Scenario(
+        name=f"crash-{algorithm}-{n_crashes}",
+        algorithm=algorithm,
+        n_processes=N_PROCESSES,
+        crashes=crashes,
+        loss=LossSpec.bernoulli(0.2),
+        max_time=100.0,
+        stop_when_all_correct_delivered=(algorithm == "algorithm1"),
+        stop_when_quiescent=(algorithm == "algorithm2"),
+        drain_grace_period=2.0,
+        seed=3,
+    )
+    return run_scenario(scenario)
+
+
+def main() -> None:
+    rows = []
+    for n_crashes in range(0, N_PROCESSES):
+        for algorithm in ("algorithm1", "algorithm2"):
+            result = run(algorithm, n_crashes)
+            correct = result.simulation.correct_indices()
+            delivered = sum(
+                1 for index in correct
+                if result.simulation.delivery_logs[index].has_content("m0")
+            )
+            rows.append([
+                algorithm,
+                n_crashes,
+                n_crashes < N_PROCESSES / 2,
+                f"{delivered}/{len(correct)}",
+                result.verdict.uniform_agreement.holds
+                and result.verdict.uniform_integrity.holds,
+                result.verdict.validity.holds,
+            ])
+    print(render_table(
+        ["algorithm", "initial crashes", "correct majority?",
+         "correct processes that delivered", "safety holds", "validity holds"],
+        rows,
+        title=f"Crash tolerance (n={N_PROCESSES}, loss p=0.2, crashes at t=0)",
+    ))
+    print(
+        "\nReading: Algorithm 1 stops delivering (and thus violates the "
+        "liveness property Validity) once half or more of the processes are "
+        "gone; Algorithm 2, armed with AΘ/AP*, keeps delivering all the way "
+        "to a single surviving correct process.  Safety is never violated by "
+        "either algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Extending the library: plugging a custom broadcast protocol into the
+simulator.
+
+The engine only needs the three :class:`repro.core.BroadcastProtocol` entry
+points (``urb_broadcast``, ``on_receive``, ``on_tick``), so new protocols can
+be evaluated against the same channels, crash schedules, workloads and
+property checkers as the paper's algorithms.
+
+The protocol implemented here is a deliberately naive "gossip-k" broadcast:
+on every retransmission round each process re-broadcasts every message it has
+seen, but only for a fixed number of rounds (k).  It is *not* a correct URB
+protocol under heavy loss (liveness depends on k), which makes it a nice
+demonstration of the analysis layer catching the difference.
+
+Run with::
+
+    python examples/custom_protocol.py
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import Scenario, run_scenario
+from repro.analysis.tables import render_table
+from repro.core import AnonymousProcess, MsgPayload, TaggedMessage
+from repro.core.messages import AckPayload, LabeledAckPayload
+from repro.experiments.runner import build_engine
+from repro.network import LossSpec
+from repro.simulation.engine import SimulationEngine
+from repro.workloads import SingleBroadcast
+
+
+class GossipKProcess(AnonymousProcess):
+    """Re-broadcast everything seen, but only for ``k`` rounds per message."""
+
+    name = "gossip_k"
+
+    def __init__(self, env, rounds: int = 3) -> None:
+        super().__init__(env, eager_first_broadcast=True)
+        self.rounds = rounds
+        self._remaining: dict[TaggedMessage, int] = {}
+        self._delivered: set[TaggedMessage] = set()
+
+    def urb_broadcast(self, content: Any) -> None:
+        message = TaggedMessage(content, self._new_tag())
+        self._remaining[message] = self.rounds
+        self.env.broadcast(MsgPayload(message))
+
+    def _on_msg(self, payload: MsgPayload) -> None:
+        message = payload.message
+        if message not in self._delivered:
+            self._delivered.add(message)
+            self._record_delivery(message)
+        self._remaining.setdefault(message, self.rounds)
+
+    def _on_ack(self, payload: AckPayload | LabeledAckPayload) -> None:
+        # Gossip has no acknowledgements; ignore any that appear.
+        return
+
+    def on_tick(self) -> None:
+        for message, remaining in list(self._remaining.items()):
+            if remaining <= 0:
+                del self._remaining[message]
+                continue
+            self.env.broadcast(MsgPayload(message))
+            self._remaining[message] = remaining - 1
+
+    @property
+    def pending_retransmissions(self) -> int:
+        return sum(1 for remaining in self._remaining.values() if remaining > 0)
+
+
+def run_gossip(rounds: int, loss: float, seed: int):
+    """Wire the custom protocol into the standard engine by hand."""
+    scenario = Scenario(
+        name=f"gossip-{rounds}",
+        algorithm="algorithm1",          # placeholder, replaced below
+        n_processes=6,
+        loss=LossSpec.bernoulli(loss),
+        workload=SingleBroadcast(sender=0, time=0.0),
+        max_time=60.0,
+        seed=seed,
+    )
+    engine: SimulationEngine = build_engine(scenario)
+    # Swap in the custom protocol: same environments, same network.
+    engine.processes = {
+        index: GossipKProcess(env, rounds=rounds)
+        for index, env in engine.environments.items()
+    }
+    simulation = engine.run()
+    from repro.analysis.properties import check_urb_properties
+
+    return simulation, check_urb_properties(simulation)
+
+
+def main() -> None:
+    rows = []
+    for rounds in (0, 1, 3, 8):
+        for loss in (0.2, 0.6):
+            agreement_violations = 0
+            deliveries = 0
+            for seed in range(5):
+                simulation, verdict = run_gossip(rounds, loss, seed)
+                agreement_violations += int(not verdict.uniform_agreement.holds)
+                deliveries += simulation.metrics.deliveries
+            rows.append([rounds, loss, deliveries / 5, agreement_violations])
+
+    print(render_table(
+        ["gossip rounds k", "loss p", "mean deliveries (of 6)",
+         "agreement violations (of 5 runs)"],
+        rows,
+        title="A custom gossip-k protocol under the same harness",
+    ))
+
+    # Reference: the paper's Algorithm 2 under the harsher setting.
+    reference = run_scenario(Scenario(
+        name="reference", algorithm="algorithm2", n_processes=6,
+        loss=LossSpec.bernoulli(0.6), workload=SingleBroadcast(sender=0, time=0.0),
+        max_time=120.0, stop_when_quiescent=True, drain_grace_period=3.0,
+    ))
+    print(
+        f"\nReference (Algorithm 2, loss p=0.6): deliveries="
+        f"{reference.metrics.deliveries}/6, properties hold: "
+        f"{reference.all_properties_hold}, quiescent: "
+        f"{reference.quiescence.quiescent}"
+    )
+    print(
+        "\nReading: bounded gossip stops retransmitting too early — under "
+        "heavy loss some correct process misses the message and agreement "
+        "breaks, while Algorithm 2 keeps retransmitting exactly until AP* "
+        "says everyone correct has it."
+    )
+
+
+if __name__ == "__main__":
+    main()

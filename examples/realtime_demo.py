@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Real-time demo: the same protocol code on an asyncio transport.
+
+Everything else in this repository drives the protocols through the
+discrete-event simulator; this example runs the *unmodified* Algorithm 2
+implementation on the real-time in-process transport
+(:mod:`repro.realtime`): asyncio tasks, wall-clock timers, real lossy
+queues.  It is the "transport independence" demonstration — protocol code
+only ever talks to the EnvironmentAPI.
+
+Run with::
+
+    python examples/realtime_demo.py
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.core import QuiescentUrbProcess
+from repro.failure_detectors import APStarOracle, AThetaOracle, GroundTruthOracle
+from repro.realtime import RealTimeBroadcast, RealTimeCluster
+from repro.simulation.faults import CrashSchedule
+
+N_PROCESSES = 5
+CRASHES = {4: 0.15}          # process 4 crashes 150 ms into the run
+DURATION = 1.2               # seconds of wall-clock time
+
+
+def main() -> None:
+    # The failure detectors are the same oracle classes the simulator uses;
+    # here they are queried with elapsed wall-clock time.
+    schedule = CrashSchedule.crash_at(N_PROCESSES, CRASHES)
+    ground = GroundTruthOracle(schedule, rng=random.Random(0))
+    cluster = RealTimeCluster(
+        N_PROCESSES,
+        lambda index, env: QuiescentUrbProcess(env),
+        loss_probability=0.15,
+        delay_range=(0.002, 0.01),
+        tick_interval=0.03,
+        seed=1,
+        atheta=AThetaOracle(ground),
+        apstar=APStarOracle(ground),
+        crash_after=CRASHES,
+    )
+    workload = [
+        RealTimeBroadcast(delay=0.0, sender=0, content="rt-hello"),
+        RealTimeBroadcast(delay=0.1, sender=1, content="rt-world"),
+    ]
+    report = cluster.run_sync(workload, duration=DURATION)
+
+    print(report.describe())
+    rows = []
+    for index in range(N_PROCESSES):
+        status = "faulty" if index in CRASHES else "correct"
+        rows.append([f"p{index}", status, ", ".join(map(str, report.deliveries[index]))])
+    print()
+    print(render_table(["process", "role", "delivered"], rows,
+                       title="Real-time Algorithm 2 run (wall-clock)"))
+    print(f"\nLast send happened {report.last_send_elapsed:.2f}s into a "
+          f"{DURATION:.2f}s run — the protocol went quiescent well before the end.")
+    first_deliveries = sorted(report.delivery_times)[:3]
+    print("First deliveries (elapsed seconds):",
+          [f"p{p}:{t * 1000:.0f}ms:{c}" for t, p, c in first_deliveries])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists only
+so that legacy editable installs (``pip install -e . --no-use-pep517``) work
+on environments whose setuptools lacks wheel support.
+"""
+
+from setuptools import setup
+
+setup()

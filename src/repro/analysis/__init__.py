@@ -1,0 +1,52 @@
+"""Trace analysis: URB property checking, quiescence detection, anonymity
+audits, statistics helpers and plain-text table rendering."""
+
+from .anonymity import (
+    AnonymityAudit,
+    audit_ack_tag_uniqueness,
+    audit_anonymity,
+    audit_payload_opacity,
+)
+from .properties import (
+    PropertyVerdict,
+    UrbVerdict,
+    check_correct_agreement,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_urb_properties,
+    check_validity,
+)
+from .quiescence import (
+    QuiescenceReport,
+    analyze_quiescence,
+    cumulative_send_curve,
+    retire_times,
+)
+from .stats import SummaryStats, mean_confidence_interval, ratio, summarize
+from .tables import format_cell, render_ascii_curve, render_series, render_table
+
+__all__ = [
+    "AnonymityAudit",
+    "PropertyVerdict",
+    "QuiescenceReport",
+    "SummaryStats",
+    "UrbVerdict",
+    "analyze_quiescence",
+    "audit_ack_tag_uniqueness",
+    "audit_anonymity",
+    "audit_payload_opacity",
+    "check_correct_agreement",
+    "check_uniform_agreement",
+    "check_uniform_integrity",
+    "check_urb_properties",
+    "check_validity",
+    "cumulative_send_curve",
+    "format_cell",
+    "mean_confidence_interval",
+    "ratio",
+    "render_ascii_curve",
+    "render_series",
+    "render_table",
+    "retire_times",
+    "summarize",
+]

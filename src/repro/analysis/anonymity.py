@@ -1,0 +1,111 @@
+"""Anonymity audits.
+
+The protocols must work without process identifiers.  Two things are worth
+auditing mechanically on finished runs:
+
+* **Acknowledgement-tag uniqueness** — Algorithm 1's correctness rests on
+  distinct processes choosing distinct random ``tag_ack`` values for the
+  same message («different processes generate distinct ACKs to the same m»).
+  :func:`audit_ack_tag_uniqueness` verifies it on the trace (a failure would
+  indicate a tag-width misconfiguration or a broken RNG setup).
+* **Payload opacity** — nothing a protocol puts on the wire may contain a
+  process index.  :func:`audit_payload_opacity` walks every sent payload and
+  checks it only uses the sanctioned wire types, whose fields are contents,
+  random tags and opaque labels.  (The identified baseline is exempt — it is
+  non-anonymous by design.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.messages import AckPayload, LabeledAckPayload, MsgPayload
+from ..simulation.engine import SimulationResult
+from ..simulation.tracing import TraceCategory
+
+
+@dataclass(frozen=True)
+class AnonymityAudit:
+    """Result of the anonymity audits on one run."""
+
+    ack_tags_unique: bool
+    payloads_opaque: bool
+    violations: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        """Whether every audit passed."""
+        return self.ack_tags_unique and self.payloads_opaque
+
+    def describe(self) -> str:
+        """One-line summary."""
+        status = "passed" if self.passed else "FAILED"
+        return f"anonymity audit {status} ({len(self.violations)} violations)"
+
+
+def audit_ack_tag_uniqueness(result: SimulationResult) -> tuple[bool, list[str]]:
+    """Check that distinct processes never share a ``tag_ack`` for a message."""
+    violations: list[str] = []
+    # message -> ack_tag -> set of source processes that sent it
+    senders: dict[tuple, dict[int, set[int]]] = {}
+    # message -> process -> set of ack tags used (must be a singleton)
+    per_process: dict[tuple, dict[int, set[int]]] = {}
+    for event in result.trace.filter(category=TraceCategory.SEND):
+        payload = event.detail("payload")
+        if not isinstance(payload, (AckPayload, LabeledAckPayload)):
+            continue
+        key = (payload.message.content, payload.message.tag)
+        senders.setdefault(key, {}).setdefault(payload.ack_tag, set()).add(
+            event.process
+        )
+        per_process.setdefault(key, {}).setdefault(event.process, set()).add(
+            payload.ack_tag
+        )
+    for key, tag_map in senders.items():
+        for ack_tag, processes in tag_map.items():
+            if len(processes) > 1:
+                violations.append(
+                    f"ack tag {ack_tag} for message {key!r} was used by "
+                    f"multiple processes: {sorted(processes)}"
+                )
+    for key, proc_map in per_process.items():
+        for process, tags in proc_map.items():
+            if len(tags) > 1:
+                violations.append(
+                    f"process p{process} used multiple ack tags for message "
+                    f"{key!r}: {sorted(tags)}"
+                )
+    return (not violations, violations)
+
+
+def audit_payload_opacity(result: SimulationResult,
+                          *, allow_identified: bool = False) -> tuple[bool, list[str]]:
+    """Check that only the sanctioned anonymous wire types were sent."""
+    violations: list[str] = []
+    allowed = (MsgPayload, AckPayload, LabeledAckPayload)
+    for event in result.trace.filter(category=TraceCategory.SEND):
+        payload = event.detail("payload")
+        if payload is None:
+            continue
+        if not isinstance(payload, allowed):
+            if allow_identified:
+                continue
+            violations.append(
+                f"p{event.process} sent a non-standard payload "
+                f"{type(payload).__name__}"
+            )
+    return (not violations, violations)
+
+
+def audit_anonymity(result: SimulationResult,
+                    *, allow_identified: bool = False) -> AnonymityAudit:
+    """Run every anonymity audit on *result*."""
+    tags_ok, tag_violations = audit_ack_tag_uniqueness(result)
+    opaque_ok, opacity_violations = audit_payload_opacity(
+        result, allow_identified=allow_identified
+    )
+    return AnonymityAudit(
+        ack_tags_unique=tags_ok,
+        payloads_opaque=opaque_ok,
+        violations=tuple(tag_violations + opacity_violations),
+    )

@@ -1,0 +1,218 @@
+"""Machine-checkable URB property verdicts.
+
+The paper defines Uniform Reliable Broadcast by three properties (§II):
+
+* **Validity** — if a correct process broadcasts ``m``, it eventually
+  delivers ``m``.
+* **Uniform Agreement** — if *some* process (correct or not) delivers ``m``,
+  then every correct process eventually delivers ``m``.
+* **Uniform Integrity** — every process delivers ``m`` at most once, and
+  only if ``m`` was previously broadcast.
+
+The checkers below evaluate the three properties on a finished
+:class:`~repro.simulation.engine.SimulationResult`.  "Eventually" is
+interpreted as "by the end of the run": experiments choose horizons long
+enough for the liveness properties to have materialised, and the correctness
+experiment (E1) reports the verdicts per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..simulation.engine import SimulationResult
+from ..simulation.tracing import TraceCategory
+
+
+@dataclass(frozen=True)
+class PropertyVerdict:
+    """Outcome of checking one URB property on one run."""
+
+    name: str
+    holds: bool
+    violations: tuple[str, ...] = ()
+    checked: int = 0
+
+    def describe(self) -> str:
+        """One-line summary."""
+        status = "OK" if self.holds else "VIOLATED"
+        extra = f" ({len(self.violations)} violations)" if self.violations else ""
+        return f"{self.name}: {status}{extra}"
+
+
+@dataclass(frozen=True)
+class UrbVerdict:
+    """Combined verdict of the three URB properties on one run."""
+
+    validity: PropertyVerdict
+    uniform_agreement: PropertyVerdict
+    uniform_integrity: PropertyVerdict
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every property holds."""
+        return (
+            self.validity.holds
+            and self.uniform_agreement.holds
+            and self.uniform_integrity.holds
+        )
+
+    def verdicts(self) -> tuple[PropertyVerdict, ...]:
+        """The three verdicts as a tuple."""
+        return (self.validity, self.uniform_agreement, self.uniform_integrity)
+
+    def violations(self) -> list[str]:
+        """All violation messages across the three properties."""
+        result: list[str] = []
+        for verdict in self.verdicts():
+            result.extend(verdict.violations)
+        return result
+
+    def describe(self) -> str:
+        """Multi-line summary."""
+        return "\n".join(verdict.describe() for verdict in self.verdicts())
+
+
+# --------------------------------------------------------------------------- #
+# individual property checkers
+# --------------------------------------------------------------------------- #
+def check_validity(result: SimulationResult) -> PropertyVerdict:
+    """Validity: correct broadcasters deliver their own messages."""
+    violations: list[str] = []
+    checked = 0
+    for command in _broadcast_commands(result):
+        sender = command["process"]
+        content = command["content"]
+        if not result.crash_schedule.is_correct(sender):
+            continue
+        checked += 1
+        if not result.delivery_logs[sender].has_content(content):
+            violations.append(
+                f"correct process p{sender} broadcast {content!r} but never "
+                "delivered it"
+            )
+    return PropertyVerdict(
+        name="Validity", holds=not violations,
+        violations=tuple(violations), checked=checked,
+    )
+
+
+def check_uniform_agreement(result: SimulationResult) -> PropertyVerdict:
+    """Uniform Agreement: anything delivered anywhere is delivered by every
+    correct process."""
+    violations: list[str] = []
+    delivered_anywhere: dict[Any, list[int]] = {}
+    for event in result.trace.filter(category=TraceCategory.URB_DELIVER):
+        delivered_anywhere.setdefault(event.detail("content"), []).append(
+            event.process
+        )
+    correct = result.crash_schedule.correct_indices()
+    checked = 0
+    for content, deliverers in delivered_anywhere.items():
+        checked += 1
+        for index in correct:
+            if not result.delivery_logs[index].has_content(content):
+                violations.append(
+                    f"{content!r} was delivered by p{deliverers[0]} but correct "
+                    f"process p{index} never delivered it"
+                )
+    return PropertyVerdict(
+        name="Uniform Agreement", holds=not violations,
+        violations=tuple(violations), checked=checked,
+    )
+
+
+def check_uniform_integrity(result: SimulationResult) -> PropertyVerdict:
+    """Uniform Integrity: at-most-once delivery, only of broadcast messages,
+    never before their broadcast."""
+    violations: list[str] = []
+    broadcast_times: dict[Any, float] = {}
+    for command in _broadcast_commands(result):
+        broadcast_times.setdefault(command["content"], command["time"])
+
+    seen: dict[tuple[int, Any, Any], int] = {}
+    checked = 0
+    for event in result.trace.filter(category=TraceCategory.URB_DELIVER):
+        checked += 1
+        content = event.detail("content")
+        tag = event.detail("tag")
+        key = (event.process, content, tag)
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > 1:
+            violations.append(
+                f"p{event.process} delivered {content!r} (tag {tag}) "
+                f"{seen[key]} times"
+            )
+        if content not in broadcast_times:
+            violations.append(
+                f"p{event.process} delivered {content!r} which was never "
+                "URB-broadcast"
+            )
+        elif event.time < broadcast_times[content]:
+            violations.append(
+                f"p{event.process} delivered {content!r} at t={event.time:g} "
+                f"before its broadcast at t={broadcast_times[content]:g}"
+            )
+    return PropertyVerdict(
+        name="Uniform Integrity", holds=not violations,
+        violations=tuple(violations), checked=checked,
+    )
+
+
+def check_urb_properties(result: SimulationResult) -> UrbVerdict:
+    """Check all three URB properties on *result*."""
+    return UrbVerdict(
+        validity=check_validity(result),
+        uniform_agreement=check_uniform_agreement(result),
+        uniform_integrity=check_uniform_integrity(result),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# agreement among correct processes only (for the non-uniform baselines)
+# --------------------------------------------------------------------------- #
+def check_correct_agreement(result: SimulationResult) -> PropertyVerdict:
+    """(Non-uniform) Agreement: a message delivered by a *correct* process is
+    delivered by all correct processes.
+
+    This is the weaker guarantee of plain Reliable Broadcast; the baseline
+    comparison experiment uses it to show that the eager-relay baseline may
+    satisfy it while still violating *uniform* agreement.
+    """
+    violations: list[str] = []
+    correct = set(result.crash_schedule.correct_indices())
+    delivered_by_correct: set[Any] = set()
+    for event in result.trace.filter(category=TraceCategory.URB_DELIVER):
+        if event.process in correct:
+            delivered_by_correct.add(event.detail("content"))
+    checked = 0
+    for content in delivered_by_correct:
+        checked += 1
+        for index in correct:
+            if not result.delivery_logs[index].has_content(content):
+                violations.append(
+                    f"{content!r} delivered by some correct process but not by "
+                    f"correct process p{index}"
+                )
+    return PropertyVerdict(
+        name="Agreement (correct only)", holds=not violations,
+        violations=tuple(violations), checked=checked,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _broadcast_commands(result: SimulationResult) -> list[dict[str, Any]]:
+    """The URB_BROADCAST events of the trace as plain dictionaries."""
+    commands = []
+    for event in result.trace.filter(category=TraceCategory.URB_BROADCAST):
+        commands.append(
+            {
+                "process": event.process,
+                "content": event.detail("content"),
+                "time": event.time,
+            }
+        )
+    return commands

@@ -1,0 +1,108 @@
+"""Plain-text table rendering.
+
+Experiment results are reported as monospace tables (the library has no
+plotting dependency); the same rows back both the CLI output and
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_cell(value: Any, float_format: str = "{:.3g}") -> str:
+    """Render one cell: floats are compacted, booleans become ✓/✗."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = "{:.3g}",
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cell values (any printable objects).
+    float_format:
+        Format applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    rendered_rows = [
+        [format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    headers = [str(h) for h in headers]
+    n_columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != n_columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {n_columns} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    name: str,
+    points: Iterable[tuple[Any, Any]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a data series (a "figure" in text form): two-column table."""
+    return render_table(
+        [x_label, y_label],
+        list(points),
+        float_format=float_format,
+        title=name,
+    )
+
+
+def render_ascii_curve(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Very small ASCII bar rendering of a curve (used by the CLI).
+
+    Each point becomes one line whose bar length is proportional to the y
+    value relative to the maximum.
+    """
+    if not points:
+        return f"{label}(no data)"
+    max_y = max(y for _, y in points) or 1.0
+    lines = [label] if label else []
+    for x, y in points:
+        bar = "#" * int(round(width * y / max_y))
+        lines.append(f"{x:>10.3g} | {bar} {y:g}")
+    return "\n".join(lines)

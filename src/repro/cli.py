@@ -1,0 +1,133 @@
+"""Command-line interface.
+
+Installed as ``repro-urb`` (see ``pyproject.toml``); also runnable as
+``python -m repro``.
+
+Sub-commands
+------------
+``list``
+    List the registered experiments.
+``run E3 [--seeds 3] [--quick] [--output FILE]``
+    Run one experiment (or ``all``) and print / save its tables and figures.
+``demo [--algorithm algorithm2] [--n 5] [--loss 0.3] [--crashes 2]``
+    Run a single scenario and print its analysis (a fast way to poke at the
+    protocols without writing code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.tables import render_table
+from .experiments import registry
+from .experiments.config import ALGORITHMS, Scenario
+from .experiments.common import crash_last
+from .experiments.runner import run_scenario
+from .network.loss import LossSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-urb",
+        description=(
+            "Uniform Reliable Broadcast in anonymous distributed systems with "
+            "fair lossy channels — experiment harness."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    run_parser.add_argument("--seeds", type=int, default=None,
+                            help="replications per configuration")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="smaller grids / fewer seeds")
+    run_parser.add_argument("--output", type=str, default=None,
+                            help="write the rendered report to this file")
+
+    demo_parser = subparsers.add_parser("demo", help="run a single scenario")
+    demo_parser.add_argument("--algorithm", choices=ALGORITHMS,
+                             default="algorithm2")
+    demo_parser.add_argument("--n", type=int, default=5, help="number of processes")
+    demo_parser.add_argument("--loss", type=float, default=0.2,
+                             help="Bernoulli loss probability")
+    demo_parser.add_argument("--crashes", type=int, default=1,
+                             help="number of processes crashed at t=2")
+    demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.add_argument("--max-time", type=float, default=150.0)
+    return parser
+
+
+def _command_list() -> int:
+    rows = []
+    for experiment_id in registry.experiment_ids():
+        entry = registry.get_experiment(experiment_id)
+        rows.append([entry.experiment_id, entry.title])
+    print(render_table(["id", "title"], rows, title="Registered experiments"))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.experiment.lower() == "all":
+        results = registry.run_all(seeds=args.seeds, quick=args.quick)
+    else:
+        results = [
+            registry.run_experiment(args.experiment, seeds=args.seeds,
+                                    quick=args.quick)
+        ]
+    text = "\n\n".join(result.render() for result in results)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n(report written to {args.output})")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    if args.crashes >= args.n:
+        print("error: at least one process must remain correct", file=sys.stderr)
+        return 2
+    scenario = Scenario(
+        name="cli-demo",
+        algorithm=args.algorithm,
+        n_processes=args.n,
+        seed=args.seed,
+        crashes=crash_last(args.n, args.crashes, time=2.0),
+        loss=LossSpec.bernoulli(args.loss) if args.loss > 0 else LossSpec.none(),
+        max_time=args.max_time,
+        stop_when_quiescent=args.algorithm == "algorithm2",
+        stop_when_all_correct_delivered=args.algorithm != "algorithm2",
+        drain_grace_period=3.0,
+    )
+    result = run_scenario(scenario)
+    print(result.describe())
+    summary = result.metrics
+    rows = [[k, v] for k, v in sorted(summary.as_dict().items())
+            if not isinstance(v, dict)]
+    print()
+    print(render_table(["metric", "value"], rows, title="Metrics"))
+    return 0 if result.all_properties_hold else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

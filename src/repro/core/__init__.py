@@ -1,0 +1,48 @@
+"""The paper's contribution: anonymous URB protocols and baselines."""
+
+from .algorithm1 import MajorityUrbProcess
+from .algorithm2 import QuiescentUrbProcess
+from .baselines import (
+    BestEffortBroadcastProcess,
+    EagerReliableBroadcastProcess,
+    IdentifiedMajorityUrbProcess,
+)
+from .delivery import DeliveryLog, DeliveryRecord
+from .interfaces import BroadcastProtocol, DeliveryListener, EnvironmentAPI
+from .messages import (
+    AckPayload,
+    LabeledAckPayload,
+    MsgPayload,
+    ProtocolPayload,
+    TaggedMessage,
+    payload_kind,
+)
+from .process_base import AnonymousProcess
+from .state import Algorithm1State, Algorithm2State, MessageSet
+from .tags import Tag, TagGenerator, collision_probability
+
+__all__ = [
+    "AckPayload",
+    "Algorithm1State",
+    "Algorithm2State",
+    "AnonymousProcess",
+    "BestEffortBroadcastProcess",
+    "BroadcastProtocol",
+    "DeliveryListener",
+    "DeliveryLog",
+    "DeliveryRecord",
+    "EagerReliableBroadcastProcess",
+    "EnvironmentAPI",
+    "IdentifiedMajorityUrbProcess",
+    "LabeledAckPayload",
+    "MajorityUrbProcess",
+    "MessageSet",
+    "MsgPayload",
+    "ProtocolPayload",
+    "QuiescentUrbProcess",
+    "Tag",
+    "TagGenerator",
+    "TaggedMessage",
+    "collision_probability",
+    "payload_kind",
+]

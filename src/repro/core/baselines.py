@@ -1,0 +1,173 @@
+"""Baseline broadcast protocols.
+
+The paper motivates URB by contrasting it with weaker broadcast abstractions
+(§I).  Three baselines are implemented so experiments can demonstrate *why*
+the uniformity and fair-lossy-tolerance of Algorithms 1 and 2 matter:
+
+* :class:`BestEffortBroadcastProcess` — ``broadcast`` once, deliver on first
+  reception.  No delivery guarantee if the sender crashes, no tolerance of
+  message loss.
+* :class:`EagerReliableBroadcastProcess` — classic (non-uniform) reliable
+  broadcast by eager relaying: deliver on first reception and immediately
+  re-broadcast once.  With reliable channels and the relay discipline this
+  gives agreement among *correct* processes, but a process may deliver and
+  crash before its relay reaches anyone (non-uniform), and a single lossy
+  link breaks it (no retransmission).
+* :class:`IdentifiedMajorityUrbProcess` — the textbook non-anonymous URB for
+  fair lossy channels (majority ACK counting keyed by sender *identity*).
+  Functionally equivalent to Algorithm 1 but it requires unique process
+  identifiers; it is the reference point showing that Algorithm 1 pays no
+  message-complexity penalty for anonymity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from .interfaces import EnvironmentAPI
+from .messages import AckPayload, LabeledAckPayload, MsgPayload, TaggedMessage
+from .process_base import AnonymousProcess
+from .state import Algorithm1State
+
+
+class BestEffortBroadcastProcess(AnonymousProcess):
+    """Best-effort broadcast: one transmission, deliver on first reception."""
+
+    name = "best_effort"
+
+    def __init__(self, env: EnvironmentAPI, **_: Any) -> None:
+        super().__init__(env, eager_first_broadcast=True)
+        self.state = Algorithm1State()
+
+    def urb_broadcast(self, content: Any) -> None:
+        message = TaggedMessage(content=content, tag=self._new_tag())
+        # One single transmission; nothing is ever retransmitted.
+        self.env.broadcast(MsgPayload(message))
+
+    def _on_msg(self, payload: MsgPayload) -> None:
+        message = payload.message
+        if not self.state.is_delivered(message):
+            self.state.mark_delivered(message)
+            self._record_delivery(message)
+
+    def _on_ack(self, payload: Union[AckPayload, LabeledAckPayload]) -> None:
+        # Best-effort broadcast has no acknowledgements; tolerate stray ACKs
+        # (e.g. in mixed-protocol tests) by ignoring them.
+        return
+
+    def on_tick(self) -> None:
+        return
+
+    def describe(self) -> str:
+        return "best-effort broadcast"
+
+
+class EagerReliableBroadcastProcess(AnonymousProcess):
+    """Non-uniform reliable broadcast by eager (one-shot) relaying."""
+
+    name = "eager_rb"
+
+    def __init__(self, env: EnvironmentAPI, **_: Any) -> None:
+        super().__init__(env, eager_first_broadcast=True)
+        self.state = Algorithm1State()
+        self._relayed: set[TaggedMessage] = set()
+
+    def urb_broadcast(self, content: Any) -> None:
+        message = TaggedMessage(content=content, tag=self._new_tag())
+        self._relayed.add(message)
+        self.env.broadcast(MsgPayload(message))
+
+    def _on_msg(self, payload: MsgPayload) -> None:
+        message = payload.message
+        if not self.state.is_delivered(message):
+            # Deliver first, then relay: this ordering is what makes the
+            # protocol non-uniform — a crash between the two steps leaves a
+            # delivered message no one else may ever receive.
+            self.state.mark_delivered(message)
+            self._record_delivery(message)
+        if message not in self._relayed:
+            self._relayed.add(message)
+            self.env.broadcast(MsgPayload(message))
+
+    def _on_ack(self, payload: Union[AckPayload, LabeledAckPayload]) -> None:
+        return
+
+    def on_tick(self) -> None:
+        return
+
+    def describe(self) -> str:
+        return "eager (non-uniform) reliable broadcast"
+
+
+class IdentifiedMajorityUrbProcess(AnonymousProcess):
+    """Classic non-anonymous URB with majority ACK counting.
+
+    The process *knows its own identity* (``identity``) and stamps it on
+    acknowledgements; receivers count distinct acknowledging identities.
+    Retransmission (Task 1) and the majority delivery rule are identical to
+    Algorithm 1 — the point of the baseline is that anonymity costs Algorithm
+    1 nothing but the random ``tag_ack`` indirection.
+    """
+
+    name = "identified_urb"
+
+    def __init__(
+        self,
+        env: EnvironmentAPI,
+        n_processes: int,
+        identity: int,
+        *,
+        majority_threshold: Optional[int] = None,
+        eager_first_broadcast: bool = True,
+    ) -> None:
+        super().__init__(env, eager_first_broadcast=eager_first_broadcast)
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if not (0 <= identity < n_processes):
+            raise ValueError("identity must be a valid process index")
+        self.n_processes = n_processes
+        self.identity = identity
+        self.majority_threshold = (
+            majority_threshold if majority_threshold is not None
+            else n_processes // 2 + 1
+        )
+        self.state = Algorithm1State()
+        #: Distinct acknowledger identities per message.
+        self._ackers: dict[TaggedMessage, set[int]] = {}
+
+    def urb_broadcast(self, content: Any) -> None:
+        message = TaggedMessage(content=content, tag=self._new_tag())
+        self.state.add_message(message)
+        if self.eager_first_broadcast:
+            self.env.broadcast(MsgPayload(message))
+
+    def _on_msg(self, payload: MsgPayload) -> None:
+        message = payload.message
+        if message not in self.state.msg_set:
+            self.state.add_message(message)
+        # The identity plays the role Algorithm 1 assigns to the random
+        # tag_ack: it deduplicates acknowledgers.
+        self.env.broadcast(AckPayload(message, self.identity))
+
+    def _on_ack(self, payload: Union[AckPayload, LabeledAckPayload]) -> None:
+        message = payload.message
+        ackers = self._ackers.setdefault(message, set())
+        ackers.add(payload.ack_tag)
+        if len(ackers) >= self.majority_threshold:
+            if not self.state.is_delivered(message):
+                self.state.mark_delivered(message)
+                self._record_delivery(message)
+
+    def on_tick(self) -> None:
+        for message in self.state.msg_set.as_list():
+            self.env.broadcast(MsgPayload(message))
+
+    @property
+    def pending_retransmissions(self) -> int:
+        return len(self.state.msg_set)
+
+    def describe(self) -> str:
+        return (
+            f"identified URB (id={self.identity}, "
+            f"majority={self.majority_threshold})"
+        )

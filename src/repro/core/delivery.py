@@ -1,0 +1,100 @@
+"""Per-process URB-delivery logs.
+
+Each protocol process appends to a :class:`DeliveryLog` as it URB-delivers
+messages.  The logs are part of the simulation result and are what the
+analysis layer checks the URB properties against (together with the trace,
+which additionally carries delivery *times*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from .messages import TaggedMessage
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One URB-delivery as seen by the delivering process.
+
+    The record intentionally carries no timestamp: processes cannot read the
+    clock (paper §II).  Delivery times are recorded by the engine in the
+    trace, on the omniscient-observer side.
+    """
+
+    message: TaggedMessage
+    sequence: int
+
+    @property
+    def content(self) -> Any:
+        """The delivered application content."""
+        return self.message.content
+
+
+class DeliveryLog:
+    """Ordered log of a process's URB-deliveries."""
+
+    def __init__(self) -> None:
+        self._records: list[DeliveryRecord] = []
+        self._seen: set[TaggedMessage] = set()
+
+    def append(self, message: TaggedMessage) -> DeliveryRecord:
+        """Append the delivery of *message*.
+
+        Raises
+        ------
+        ValueError
+            If the same ``(m, tag)`` pair is delivered twice — the protocols
+            are responsible for at-most-once delivery, and a duplicate here
+            indicates a protocol bug, so it fails loudly.
+        """
+        if message in self._seen:
+            raise ValueError(
+                f"duplicate URB-delivery of {message.describe()}; "
+                "Uniform Integrity violated by the protocol implementation"
+            )
+        record = DeliveryRecord(message=message, sequence=len(self._records))
+        self._records.append(record)
+        self._seen.add(message)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return iter(self._records)
+
+    def __contains__(self, message: TaggedMessage) -> bool:
+        return message in self._seen
+
+    @property
+    def records(self) -> tuple[DeliveryRecord, ...]:
+        """All records in delivery order."""
+        return tuple(self._records)
+
+    def messages(self) -> list[TaggedMessage]:
+        """Delivered ``(m, tag)`` pairs in delivery order."""
+        return [record.message for record in self._records]
+
+    def contents(self) -> list[Any]:
+        """Delivered application contents in delivery order."""
+        return [record.message.content for record in self._records]
+
+    def content_set(self) -> set[Any]:
+        """Set of delivered application contents."""
+        return {record.message.content for record in self._records}
+
+    def has_content(self, content: Any) -> bool:
+        """Whether some delivered message carried *content*."""
+        return any(record.message.content == content for record in self._records)
+
+    def position_of(self, content: Any) -> Optional[int]:
+        """Index of the first delivery of *content*, or ``None``."""
+        for position, record in enumerate(self._records):
+            if record.message.content == content:
+                return position
+        return None

@@ -1,0 +1,122 @@
+"""Protocol wire payloads.
+
+Two (three, counting the labelled variant) payload types are exchanged by
+the paper's algorithms:
+
+* ``MSG`` — an application message together with its sender-chosen random
+  tag, i.e. the pair ``(m, tag)``.
+* ``ACK`` — an acknowledgement of one ``(m, tag)``, carrying the
+  acknowledging process's own random ``tag_ack`` (Algorithm 1), plus the
+  label set read from AΘ (Algorithm 2).
+
+All payloads are immutable, hashable dataclasses: channels and protocol
+state store them in sets/dict keys, and identical retransmissions compare
+equal (which the fairness guard and loss models rely on for deduplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from ..failure_detectors.labels import Label
+from .tags import Tag
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedMessage:
+    """The pair ``(m, tag)`` — an application payload plus its unique tag."""
+
+    content: Any
+    tag: Tag
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.content)
+        except TypeError as exc:
+            raise TypeError(
+                f"URB content must be hashable, got {self.content!r}"
+            ) from exc
+        if not isinstance(self.tag, int) or isinstance(self.tag, bool):
+            raise TypeError("tag must be an int")
+
+    def describe(self) -> str:
+        """Short human-readable form used in traces and reports."""
+        return f"({self.content!r}, tag={self.tag & 0xFFFF:04x})"
+
+
+class ProtocolPayload:
+    """Marker base class of everything the protocols put on the wire."""
+
+    #: Wire kind, used for metrics bucketing ("MSG" / "ACK").
+    kind: ClassVar[str] = "?"
+
+
+@dataclass(frozen=True, slots=True)
+class MsgPayload(ProtocolPayload):
+    """The ``(MSG, m, tag)`` wire message (Algorithm 1 line 30 / Algorithm 2 line 54)."""
+
+    message: TaggedMessage
+    kind: ClassVar[str] = "MSG"
+
+    def describe(self) -> str:
+        """Short human-readable form."""
+        return f"MSG{self.message.describe()}"
+
+
+@dataclass(frozen=True, slots=True)
+class AckPayload(ProtocolPayload):
+    """The ``(ACK, m, tag, tag_ack)`` wire message of Algorithm 1."""
+
+    message: TaggedMessage
+    ack_tag: Tag
+    kind: ClassVar[str] = "ACK"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ack_tag, int) or isinstance(self.ack_tag, bool):
+            raise TypeError("ack_tag must be an int")
+
+    def describe(self) -> str:
+        """Short human-readable form."""
+        return f"ACK{self.message.describe()}#{self.ack_tag & 0xFFFF:04x}"
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledAckPayload(ProtocolPayload):
+    """The ``(ACK, m, tag, tag_ack, labels)`` wire message of Algorithm 2.
+
+    ``labels`` is the label set the acknowledging process read from its AΘ
+    variable at the moment of (re)acknowledging; repeated ACKs for the same
+    ``(m, tag)`` keep the same ``tag_ack`` but may carry an updated label
+    set, which the receiver reconciles (Algorithm 2 lines 33–45).
+    """
+
+    message: TaggedMessage
+    ack_tag: Tag
+    labels: frozenset[Label] = field(default_factory=frozenset)
+    kind: ClassVar[str] = "ACK"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ack_tag, int) or isinstance(self.ack_tag, bool):
+            raise TypeError("ack_tag must be an int")
+        if not isinstance(self.labels, frozenset):
+            object.__setattr__(self, "labels", frozenset(self.labels))
+        for label in self.labels:
+            if not isinstance(label, Label):
+                raise TypeError(f"labels must contain Label objects, got {label!r}")
+
+    def describe(self) -> str:
+        """Short human-readable form."""
+        labels = ",".join(sorted(label.short() for label in self.labels))
+        return (
+            f"ACK{self.message.describe()}#{self.ack_tag & 0xFFFF:04x}"
+            f"[{labels}]"
+        )
+
+
+def payload_kind(payload: Any) -> str:
+    """Return the wire kind of *payload* ("MSG", "ACK", or the class name)."""
+    kind = getattr(payload, "kind", None)
+    if isinstance(kind, str):
+        return kind
+    return type(payload).__name__

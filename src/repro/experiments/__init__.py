@@ -1,0 +1,43 @@
+"""Experiment harness: scenario configuration, runners, sweeps and the
+registry of the paper-style experiments E1–E10."""
+
+from .config import ALGORITHMS, CHANNEL_TYPES, Scenario
+from .export import (
+    scenario_result_to_dict,
+    write_artifact_csv,
+    write_experiment_csvs,
+    write_experiment_json,
+    write_scenario_json,
+)
+from .report import ExperimentArtifact, ExperimentResult
+from .runner import (
+    ScenarioResult,
+    build_engine,
+    default_scenario,
+    replicate,
+    run_scenario,
+    run_scenarios,
+)
+from .sweeps import SweepPoint, grid, sweep
+
+__all__ = [
+    "ALGORITHMS",
+    "CHANNEL_TYPES",
+    "ExperimentArtifact",
+    "ExperimentResult",
+    "Scenario",
+    "ScenarioResult",
+    "SweepPoint",
+    "build_engine",
+    "default_scenario",
+    "grid",
+    "replicate",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_result_to_dict",
+    "sweep",
+    "write_artifact_csv",
+    "write_experiment_csvs",
+    "write_experiment_json",
+    "write_scenario_json",
+]

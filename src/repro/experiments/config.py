@@ -1,0 +1,182 @@
+"""High-level scenario configuration.
+
+A :class:`Scenario` is the user-facing description of one simulated run:
+which algorithm, how many processes, which crashes, what kind of channels,
+which failure-detector parameterisation, what workload, and for how long.
+The :mod:`repro.experiments.runner` module turns a scenario into a wired-up
+:class:`~repro.simulation.engine.SimulationEngine` and runs it.
+
+Scenarios are plain frozen dataclasses: cheap to construct, easy to sweep
+over (``dataclasses.replace``), and fully determined by their fields plus the
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence
+
+from ..network.delay import DelaySpec
+from ..network.fair_lossy import DEFAULT_FAIRNESS_BOUND
+from ..network.loss import LossSpec
+from ..failure_detectors.policies import DisseminationPolicy
+from ..simulation.hooks import EngineHook
+from ..workloads.base import Workload
+
+#: Algorithms selectable by name.
+ALGORITHMS = (
+    "algorithm1",
+    "algorithm2",
+    "best_effort",
+    "eager_rb",
+    "identified_urb",
+)
+
+#: Channel families selectable by name.
+CHANNEL_TYPES = ("fair_lossy", "reliable", "quasi_reliable")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully described simulated run (minus the seed-dependent draws).
+
+    Attributes
+    ----------
+    name:
+        Free-form scenario name used in reports.
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    n_processes:
+        Number of anonymous processes.
+    seed:
+        Master seed of the run.
+    crashes:
+        Failure pattern: mapping from process index to crash time.
+    loss, delay, fairness_bound, channel_type:
+        Channel model (see :mod:`repro.network`).
+    tick_interval:
+        Task 1 retransmission period.
+    max_time:
+        Simulation horizon.
+    check_interval:
+        Engine self-check period for early-stop predicates.
+    stop_when_all_correct_delivered, stop_when_quiescent, drain_grace_period:
+        Early-stop behaviour.
+    fd_policy, fd_detection_delay, fd_learn_delay, apstar_detection_delay:
+        Failure-detector parameterisation (Algorithm 2 only).
+    strict_equality, retire_enabled, eager_first_broadcast, majority_threshold:
+        Algorithm options.
+    workload:
+        The application broadcast schedule (defaults to a single broadcast by
+        process 0 at time 0).
+    trace_enabled, trace_ticks:
+        Trace recording switches (disable for very large benchmark runs).
+    hooks:
+        Engine hooks (e.g. the impossibility adversary).
+    metadata:
+        Free-form metadata propagated to results and reports.
+    """
+
+    name: str = "scenario"
+    algorithm: str = "algorithm2"
+    n_processes: int = 5
+    seed: int = 0
+
+    crashes: Mapping[int, float] = field(default_factory=dict)
+
+    loss: LossSpec = field(default_factory=LossSpec.none)
+    delay: DelaySpec = field(default_factory=lambda: DelaySpec.uniform(0.05, 0.5))
+    fairness_bound: Optional[int] = DEFAULT_FAIRNESS_BOUND
+    channel_type: str = "fair_lossy"
+
+    tick_interval: float = 1.0
+    max_time: float = 300.0
+    check_interval: float = 1.0
+    stop_when_all_correct_delivered: bool = False
+    stop_when_quiescent: bool = False
+    drain_grace_period: float = 0.0
+
+    fd_policy: DisseminationPolicy | str = DisseminationPolicy.CORRECT_ONLY
+    fd_detection_delay: float = 2.0
+    fd_learn_delay: float = 0.0
+    apstar_detection_delay: Optional[float] = None
+
+    strict_equality: bool = False
+    retire_enabled: bool = True
+    eager_first_broadcast: bool = True
+    majority_threshold: Optional[int] = None
+
+    workload: Optional[Workload] = None
+
+    trace_enabled: bool = True
+    trace_ticks: bool = False
+    hooks: Sequence[EngineHook] = ()
+
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.channel_type not in CHANNEL_TYPES:
+            raise ValueError(
+                f"unknown channel type {self.channel_type!r}; expected one of "
+                f"{CHANNEL_TYPES}"
+            )
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if self.tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        if self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+        for index, time in dict(self.crashes).items():
+            if not (0 <= int(index) < self.n_processes):
+                raise ValueError(
+                    f"crash index {index} out of range for n={self.n_processes}"
+                )
+            if time < 0:
+                raise ValueError("crash times must be non-negative")
+        if len(self.crashes) >= self.n_processes:
+            raise ValueError("at least one process must remain correct")
+        # Normalise the policy eagerly so typos fail at construction time.
+        object.__setattr__(
+            self, "fd_policy", DisseminationPolicy.from_string(self.fd_policy)
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived quantities and sweeping helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_crashes(self) -> int:
+        """Number of faulty processes in the scenario."""
+        return len(self.crashes)
+
+    @property
+    def has_correct_majority(self) -> bool:
+        """Whether a majority of processes stay correct."""
+        return self.n_crashes < self.n_processes / 2
+
+    @property
+    def effective_apstar_delay(self) -> float:
+        """AP\\* detection delay (defaults to the AΘ detection delay)."""
+        if self.apstar_detection_delay is None:
+            return self.fd_detection_delay
+        return self.apstar_detection_delay
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """Copy of the scenario with a different seed."""
+        return replace(self, seed=seed)
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """Copy of the scenario with arbitrary field changes."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"{self.name}: {self.algorithm}, n={self.n_processes}, "
+            f"crashes={self.n_crashes}, loss={self.loss.describe()}, "
+            f"seed={self.seed}"
+        )

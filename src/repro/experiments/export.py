@@ -1,0 +1,146 @@
+"""Exporting experiment and scenario results to JSON / CSV.
+
+The plain-text tables are what the CLI and ``EXPERIMENTS.md`` show; this
+module provides machine-readable exports so results can be post-processed or
+plotted with external tooling (pandas, gnuplot, spreadsheets) without adding
+any plotting dependency to the library itself.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from .report import ExperimentArtifact, ExperimentResult
+from .runner import ScenarioResult
+
+
+def artifact_to_dict(artifact: ExperimentArtifact) -> dict[str, Any]:
+    """Plain-dict view of one artifact (JSON friendly)."""
+    return {
+        "name": artifact.name,
+        "kind": artifact.kind,
+        "headers": list(artifact.headers),
+        "rows": [list(row) for row in artifact.rows],
+        "notes": artifact.notes,
+    }
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Plain-dict view of an experiment result (JSON friendly)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": result.notes,
+        "parameters": dict(result.parameters),
+        "artifacts": [artifact_to_dict(a) for a in result.artifacts],
+    }
+
+
+def scenario_result_to_dict(result: ScenarioResult) -> dict[str, Any]:
+    """Plain-dict summary of a single scenario run (JSON friendly)."""
+    scenario = result.scenario
+    return {
+        "scenario": {
+            "name": scenario.name,
+            "algorithm": scenario.algorithm,
+            "n_processes": scenario.n_processes,
+            "seed": scenario.seed,
+            "crashes": {str(k): v for k, v in dict(scenario.crashes).items()},
+            "loss": scenario.loss.describe(),
+            "delay": scenario.delay.describe(),
+            "channel_type": scenario.channel_type,
+            "fd_policy": scenario.fd_policy.value,
+        },
+        "verdict": {
+            "validity": result.verdict.validity.holds,
+            "uniform_agreement": result.verdict.uniform_agreement.holds,
+            "uniform_integrity": result.verdict.uniform_integrity.holds,
+            "violations": result.verdict.violations(),
+        },
+        "quiescence": {
+            "quiescent": result.quiescence.quiescent,
+            "last_send_time": result.quiescence.last_send_time,
+            "idle_tail": result.quiescence.idle_tail,
+        },
+        "anonymity_passed": result.anonymity.passed,
+        "metrics": result.metrics.as_dict(),
+        "stop_reason": result.simulation.stop_reason,
+        "final_time": result.simulation.final_time,
+        "deliveries": {
+            str(index): log.contents()
+            for index, log in result.simulation.delivery_logs.items()
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# file writers
+# --------------------------------------------------------------------------- #
+def write_experiment_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment result as a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(experiment_result_to_dict(result), indent=2, default=str),
+        encoding="utf-8",
+    )
+    return path
+
+
+def write_scenario_json(result: ScenarioResult, path: str | Path) -> Path:
+    """Write one scenario result summary as a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(scenario_result_to_dict(result), indent=2, default=str),
+        encoding="utf-8",
+    )
+    return path
+
+
+def write_artifact_csv(artifact: ExperimentArtifact, path: str | Path) -> Path:
+    """Write one table/figure as a CSV file; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(artifact.headers))
+        for row in artifact.rows:
+            writer.writerow(list(row))
+    return path
+
+
+def write_experiment_csvs(result: ExperimentResult,
+                          directory: str | Path) -> list[Path]:
+    """Write every artifact of an experiment as CSV files in *directory*.
+
+    File names are derived from the experiment id and the artifact index so
+    they stay filesystem-safe regardless of the artifact titles.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, artifact in enumerate(result.artifacts):
+        path = directory / f"{result.experiment_id.lower()}_artifact{index}.csv"
+        paths.append(write_artifact_csv(artifact, path))
+    return paths
+
+
+def load_experiment_json(path: str | Path) -> dict[str, Any]:
+    """Load a JSON file written by :func:`write_experiment_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def rows_from_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
+    """Read back a CSV written by :func:`write_artifact_csv`.
+
+    Returns ``(headers, rows)`` with every cell as a string (CSV is untyped);
+    numeric post-processing is left to the caller.
+    """
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows: Iterable[list[str]] = list(reader)
+    rows = list(rows)
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]

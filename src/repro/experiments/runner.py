@@ -1,0 +1,262 @@
+"""Scenario runner: turn a :class:`~repro.experiments.config.Scenario` into a
+wired-up engine, run it, and package the outcome for analysis.
+
+This module is the main high-level entry point of the library::
+
+    from repro import Scenario, run_scenario
+    from repro.network import LossSpec
+
+    result = run_scenario(Scenario(algorithm="algorithm2",
+                                   n_processes=5,
+                                   loss=LossSpec.bernoulli(0.3),
+                                   crashes={4: 10.0}))
+    print(result.verdict.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..analysis.anonymity import AnonymityAudit, audit_anonymity
+from ..analysis.properties import UrbVerdict, check_urb_properties
+from ..analysis.quiescence import QuiescenceReport, analyze_quiescence
+from ..core.algorithm1 import MajorityUrbProcess
+from ..core.algorithm2 import QuiescentUrbProcess
+from ..core.baselines import (
+    BestEffortBroadcastProcess,
+    EagerReliableBroadcastProcess,
+    IdentifiedMajorityUrbProcess,
+)
+from ..core.interfaces import BroadcastProtocol
+from ..failure_detectors.apstar import APStarOracle
+from ..failure_detectors.atheta import AThetaOracle
+from ..failure_detectors.oracle import GroundTruthOracle
+from ..network.fair_lossy import FairLossyChannelFactory
+from ..network.network import Network
+from ..network.reliable import QuasiReliableChannelFactory, ReliableChannelFactory
+from ..simulation.config import SimulationConfig, StopConditions
+from ..simulation.engine import SimulationEngine, SimulationResult
+from ..simulation.environment import ProcessEnvironment
+from ..simulation.faults import CrashSchedule
+from ..simulation.rng import RandomSource
+from ..simulation.tracing import TraceRecorder
+from ..workloads.generators import SingleBroadcast
+from .config import Scenario
+
+
+@dataclass
+class ScenarioResult:
+    """A finished scenario together with its standard analyses."""
+
+    scenario: Scenario
+    simulation: SimulationResult
+    verdict: UrbVerdict
+    quiescence: QuiescenceReport
+    anonymity: AnonymityAudit
+
+    @property
+    def all_properties_hold(self) -> bool:
+        """Whether the three URB properties hold on this run."""
+        return self.verdict.all_hold
+
+    @property
+    def metrics(self):
+        """Shortcut to the aggregate metrics summary."""
+        return self.simulation.metrics_summary()
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            self.scenario.describe(),
+            self.simulation.describe(),
+            self.verdict.describe(),
+            self.quiescence.describe(),
+            self.anonymity.describe(),
+        ]
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# engine construction
+# --------------------------------------------------------------------------- #
+def build_crash_schedule(scenario: Scenario) -> CrashSchedule:
+    """The scenario's failure pattern as a :class:`CrashSchedule`."""
+    return CrashSchedule.crash_at(scenario.n_processes, dict(scenario.crashes))
+
+
+def build_network(scenario: Scenario, random_source: RandomSource,
+                  crash_schedule: CrashSchedule) -> Network:
+    """Build the network described by the scenario."""
+    if scenario.channel_type == "reliable":
+        factory = ReliableChannelFactory(delay_spec=scenario.delay)
+    elif scenario.channel_type == "quasi_reliable":
+        factory = QuasiReliableChannelFactory(
+            sender_crash_time=crash_schedule.crash_time,
+            delay_spec=scenario.delay,
+        )
+    else:
+        factory = FairLossyChannelFactory(
+            loss_spec=scenario.loss,
+            delay_spec=scenario.delay,
+            fairness_bound=scenario.fairness_bound,
+        )
+    return Network(scenario.n_processes, factory, random_source)
+
+
+def build_detectors(scenario: Scenario, crash_schedule: CrashSchedule,
+                    random_source: RandomSource):
+    """Build the AΘ and AP\\* oracles for the scenario (or ``(None, None)``)."""
+    if scenario.algorithm != "algorithm2":
+        return None, None
+    ground_truth = GroundTruthOracle(
+        crash_schedule, rng=random_source.stream("labels")
+    )
+    atheta = AThetaOracle(
+        ground_truth,
+        policy=scenario.fd_policy,
+        detection_delay=scenario.fd_detection_delay,
+        learn_delay=scenario.fd_learn_delay,
+        rng=random_source.stream("atheta-learn"),
+    )
+    apstar = APStarOracle(
+        ground_truth,
+        policy=scenario.fd_policy,
+        detection_delay=scenario.effective_apstar_delay,
+        learn_delay=scenario.fd_learn_delay,
+        rng=random_source.stream("apstar-learn"),
+    )
+    return atheta, apstar
+
+
+def build_process_factory(
+    scenario: Scenario,
+) -> Callable[[int, ProcessEnvironment], BroadcastProtocol]:
+    """Factory building each process's protocol instance."""
+    algorithm = scenario.algorithm
+
+    def factory(index: int, env: ProcessEnvironment) -> BroadcastProtocol:
+        if algorithm == "algorithm1":
+            return MajorityUrbProcess(
+                env,
+                scenario.n_processes,
+                majority_threshold=scenario.majority_threshold,
+                eager_first_broadcast=scenario.eager_first_broadcast,
+            )
+        if algorithm == "algorithm2":
+            return QuiescentUrbProcess(
+                env,
+                strict_equality=scenario.strict_equality,
+                retire_enabled=scenario.retire_enabled,
+                eager_first_broadcast=scenario.eager_first_broadcast,
+            )
+        if algorithm == "best_effort":
+            return BestEffortBroadcastProcess(env)
+        if algorithm == "eager_rb":
+            return EagerReliableBroadcastProcess(env)
+        if algorithm == "identified_urb":
+            return IdentifiedMajorityUrbProcess(
+                env,
+                scenario.n_processes,
+                identity=index,
+                majority_threshold=scenario.majority_threshold,
+                eager_first_broadcast=scenario.eager_first_broadcast,
+            )
+        raise ValueError(f"unknown algorithm {algorithm!r}")  # pragma: no cover
+
+    return factory
+
+
+def build_engine(scenario: Scenario) -> SimulationEngine:
+    """Assemble the :class:`SimulationEngine` described by *scenario*."""
+    random_source = RandomSource(scenario.seed)
+    crash_schedule = build_crash_schedule(scenario)
+    network = build_network(scenario, random_source, crash_schedule)
+    atheta, apstar = build_detectors(scenario, crash_schedule, random_source)
+    workload = scenario.workload or SingleBroadcast(sender=0, time=0.0)
+    config = SimulationConfig(
+        n_processes=scenario.n_processes,
+        tick_interval=scenario.tick_interval,
+        max_time=scenario.max_time,
+        seed=scenario.seed,
+        check_interval=scenario.check_interval,
+        stop=StopConditions(
+            stop_when_all_correct_delivered=scenario.stop_when_all_correct_delivered,
+            stop_when_quiescent=scenario.stop_when_quiescent,
+            drain_grace_period=scenario.drain_grace_period,
+        ),
+        metadata=dict(scenario.metadata),
+    )
+    return SimulationEngine(
+        config=config,
+        network=network,
+        process_factory=build_process_factory(scenario),
+        crash_schedule=crash_schedule,
+        workload=tuple(workload),
+        atheta=atheta,
+        apstar=apstar,
+        trace=TraceRecorder(enabled=scenario.trace_enabled),
+        hooks=tuple(scenario.hooks),
+        trace_ticks=scenario.trace_ticks,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# running
+# --------------------------------------------------------------------------- #
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Run one scenario and attach the standard analyses to the result."""
+    engine = build_engine(scenario)
+    simulation = engine.run()
+    verdict = check_urb_properties(simulation)
+    quiescence = analyze_quiescence(simulation)
+    anonymity = audit_anonymity(
+        simulation, allow_identified=scenario.algorithm == "identified_urb"
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        simulation=simulation,
+        verdict=verdict,
+        quiescence=quiescence,
+        anonymity=anonymity,
+    )
+
+
+def run_scenarios(scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
+    """Run several scenarios sequentially."""
+    return [run_scenario(scenario) for scenario in scenarios]
+
+
+def replicate(
+    scenario: Scenario,
+    seeds: Sequence[int] | int,
+) -> list[ScenarioResult]:
+    """Run the same scenario under several seeds.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to replicate.
+    seeds:
+        Either an explicit sequence of seeds, or an integer ``k`` meaning
+        seeds ``0 .. k-1`` offset by the scenario's own seed.
+    """
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("the number of replications must be positive")
+        seeds = [scenario.seed + i for i in range(seeds)]
+    return [run_scenario(scenario.with_seed(seed)) for seed in seeds]
+
+
+def default_scenario(algorithm: str = "algorithm2", **overrides) -> Scenario:
+    """A small, fast scenario with sensible defaults (used by examples)."""
+    base = Scenario(
+        name=f"default-{algorithm}",
+        algorithm=algorithm,
+        n_processes=5,
+        max_time=120.0,
+        stop_when_all_correct_delivered=(algorithm != "algorithm2"),
+        stop_when_quiescent=(algorithm == "algorithm2"),
+        drain_grace_period=5.0,
+    )
+    return base.with_(**overrides) if overrides else base

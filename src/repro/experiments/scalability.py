@@ -1,0 +1,92 @@
+"""E5 — Scalability with the number of processes (Figure 4).
+
+One URB-broadcast costs Θ(n²) MSG copies per retransmission round plus Θ(n²)
+ACK copies per received MSG copy (every reception triggers an n-way ACK
+broadcast), so the total traffic to deliver a single message grows roughly
+cubically with n while the delivery latency stays roughly flat (all ACK
+streams progress in parallel).  This experiment measures mean delivery
+latency and total sends-to-delivery as n grows, for both algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.loss import LossSpec
+from .common import (
+    algorithm1_scenario,
+    algorithm2_scenario,
+    mean_latency,
+    seeds_for,
+    total_sends,
+)
+from .report import ExperimentArtifact, ExperimentResult
+from .sweeps import sweep
+
+EXPERIMENT_ID = "E5"
+TITLE = "Scalability: latency and traffic vs. number of processes"
+
+LOSS_P = 0.1
+
+
+def run(seeds: Optional[int] = None, quick: bool = False) -> ExperimentResult:
+    """Run E5 and return its figure."""
+    n_seeds = seeds_for(quick, seeds)
+    sizes = (3, 6, 10) if quick else (3, 5, 7, 10, 15, 20)
+    rows_combined = []
+    artifacts = []
+    for algorithm, base in (
+        ("algorithm1", algorithm1_scenario()),
+        ("algorithm2", algorithm2_scenario(drain_grace_period=0.0,
+                                           stop_when_quiescent=False,
+                                           stop_when_all_correct_delivered=True)),
+    ):
+        base = base.with_(name=f"E5-{algorithm}", loss=LossSpec.bernoulli(LOSS_P))
+        points = sweep(
+            base,
+            "n_processes",
+            sizes,
+            seeds=n_seeds,
+            scenario_builder=lambda scenario, n: scenario.with_(n_processes=n),
+        )
+        rows = []
+        for point in points:
+            latency = point.mean_metric(mean_latency)
+            sends = point.mean_metric(total_sends)
+            per_delivery = (
+                sends / point.value if sends is not None else None
+            )
+            rows.append([point.value, latency, sends, per_delivery])
+            rows_combined.append([algorithm, point.value, latency, sends])
+        artifacts.append(
+            ExperimentArtifact(
+                name=f"Figure 4{'a' if algorithm == 'algorithm1' else 'b'} — "
+                     f"{algorithm} scalability",
+                kind="figure",
+                headers=["n", "mean latency", "mean sends to delivery",
+                         "sends per process"],
+                rows=rows,
+            )
+        )
+    artifacts.append(
+        ExperimentArtifact(
+            name="Figure 4 — combined series",
+            kind="figure",
+            headers=["algorithm", "n", "mean latency", "mean sends to delivery"],
+            rows=rows_combined,
+            notes=(
+                "Both algorithms stop as soon as every correct process has "
+                "delivered, so 'sends to delivery' compares like with like."
+            ),
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        artifacts=artifacts,
+        parameters={"seeds": n_seeds, "loss": LOSS_P, "quick": quick},
+        notes=(
+            "Expected shape: latency roughly flat in n; traffic grows "
+            "super-linearly (≈ n² per retransmission round, ≈ n³ in total)."
+        ),
+    )

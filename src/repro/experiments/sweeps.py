@@ -1,0 +1,121 @@
+"""Parameter sweeps over scenarios.
+
+Experiments vary one or two scenario fields over a grid and replicate each
+point over several seeds.  The helpers here keep that boilerplate (and its
+aggregation) in one tested place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..analysis.stats import mean_confidence_interval
+from .config import Scenario
+from .runner import ScenarioResult, replicate
+
+
+@dataclass
+class SweepPoint:
+    """All replications of one point of a sweep."""
+
+    value: Any
+    scenario: Scenario
+    results: list[ScenarioResult]
+
+    def metric(self, fn: Callable[[ScenarioResult], float | None]) -> list[float]:
+        """Apply *fn* to every replication, dropping ``None`` outcomes."""
+        values = []
+        for result in self.results:
+            value = fn(result)
+            if value is not None:
+                values.append(float(value))
+        return values
+
+    def mean_metric(self, fn: Callable[[ScenarioResult], float | None]) -> float | None:
+        """Mean of *fn* over the replications (``None`` if no data)."""
+        values = self.metric(fn)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def metric_ci(
+        self, fn: Callable[[ScenarioResult], float | None], confidence: float = 0.95
+    ) -> tuple[float, float, float] | None:
+        """Mean and confidence interval of *fn* over the replications."""
+        values = self.metric(fn)
+        if not values:
+            return None
+        return mean_confidence_interval(values, confidence)
+
+    def fraction(self, predicate: Callable[[ScenarioResult], bool]) -> float:
+        """Fraction of replications satisfying *predicate*."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if predicate(r)) / len(self.results)
+
+
+def sweep(
+    base: Scenario,
+    field_name: str,
+    values: Iterable[Any],
+    *,
+    seeds: Sequence[int] | int = 3,
+    scenario_builder: Callable[[Scenario, Any], Scenario] | None = None,
+) -> list[SweepPoint]:
+    """Vary one scenario field over *values*, replicating each point.
+
+    Parameters
+    ----------
+    base:
+        The scenario every point starts from.
+    field_name:
+        Name of the :class:`Scenario` field to vary (ignored when a custom
+        *scenario_builder* is supplied — it is then only used in reports).
+    values:
+        The grid of values.
+    seeds:
+        Number of replications (or the explicit seed list) per point.
+    scenario_builder:
+        Optional custom ``(base, value) -> Scenario`` builder for sweeps that
+        touch more than one field (e.g. "number of crashes" needs both the
+        crash map and possibly the workload).
+    """
+    points: list[SweepPoint] = []
+    for value in values:
+        if scenario_builder is not None:
+            scenario = scenario_builder(base, value)
+        else:
+            scenario = base.with_(**{field_name: value})
+        results = replicate(scenario, seeds)
+        points.append(SweepPoint(value=value, scenario=scenario, results=results))
+    return points
+
+
+def grid(
+    base: Scenario,
+    builders: dict[str, Callable[[Scenario, Any], Scenario]],
+    grid_values: dict[str, Iterable[Any]],
+    *,
+    seeds: Sequence[int] | int = 3,
+) -> list[tuple[dict[str, Any], list[ScenarioResult]]]:
+    """Cartesian-product sweep over several named dimensions.
+
+    Returns a list of ``(assignment, replications)`` pairs where
+    ``assignment`` maps each dimension name to the value used.
+    """
+    names = list(grid_values)
+    points: list[tuple[dict[str, Any], list[ScenarioResult]]] = []
+
+    def expand(index: int, scenario: Scenario, assignment: dict[str, Any]) -> None:
+        if index == len(names):
+            points.append((dict(assignment), replicate(scenario, seeds)))
+            return
+        name = names[index]
+        for value in grid_values[name]:
+            assignment[name] = value
+            expand(index + 1, builders[name](scenario, value), assignment)
+        del assignment[name]
+
+    expand(0, base, {})
+    return points

@@ -1,0 +1,32 @@
+"""Failure detectors: the paper's anonymous classes AΘ and AP\\*, the ground
+truth oracle they are built on, and classic Θ/P for identified baselines."""
+
+from .apstar import APStarOracle
+from .atheta import AnonymousDetectorBase, AThetaKeepCrashed, AThetaOracle
+from .base import (
+    FailureDetector,
+    FailureDetectorView,
+    FDPair,
+    StaticFailureDetector,
+)
+from .classic import PerfectDetector, ThetaDetector
+from .labels import Label, LabelAssigner
+from .oracle import GroundTruthOracle
+from .policies import DisseminationPolicy
+
+__all__ = [
+    "AnonymousDetectorBase",
+    "APStarOracle",
+    "AThetaKeepCrashed",
+    "AThetaOracle",
+    "DisseminationPolicy",
+    "FailureDetector",
+    "FailureDetectorView",
+    "FDPair",
+    "GroundTruthOracle",
+    "Label",
+    "LabelAssigner",
+    "PerfectDetector",
+    "StaticFailureDetector",
+    "ThetaDetector",
+]

@@ -1,0 +1,59 @@
+r"""The anonymous perfect failure-detector class AP\* (paper §V-B).
+
+AP\* provides each process a read-only variable ``a_p*`` containing pairs
+``(label, number)`` such that:
+
+* **AP\*-completeness** — eventually the output permanently contains pairs
+  associated with all correct processes (with
+  ``number = |S(label) ∩ Correct|``).
+* **AP\*-accuracy** — if a process crashes, its pair is eventually and
+  permanently removed from every output.
+
+Eventually the number of pairs equals the number of correct processes.
+Algorithm 2 uses AP\* solely to decide when the Task 1 retransmission of a
+message may stop (quiescence): once ACKs covering every AP\*-listed pair have
+been collected for an already-delivered message, the message is retired from
+the ``MSG`` set.
+
+The implementation shares all machinery with the AΘ oracle
+(:class:`~repro.failure_detectors.atheta.AnonymousDetectorBase`); the only
+AP\*-specific constraint is that crashed processes' pairs *must* be removed
+after the detection delay, which is exactly the ``remove_crashed=True``
+behaviour (forced here).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .atheta import AnonymousDetectorBase
+from .oracle import GroundTruthOracle
+from .policies import DisseminationPolicy
+
+
+class APStarOracle(AnonymousDetectorBase):
+    r"""The AP\* oracle.
+
+    Identical machinery to :class:`~repro.failure_detectors.atheta.AThetaOracle`
+    except that removal of crashed processes' pairs cannot be disabled
+    (AP\*-accuracy requires it).
+    """
+
+    def __init__(
+        self,
+        oracle: GroundTruthOracle,
+        *,
+        policy: DisseminationPolicy | str = DisseminationPolicy.CORRECT_ONLY,
+        detection_delay: float = 0.0,
+        learn_delay: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            oracle,
+            policy=policy,
+            detection_delay=detection_delay,
+            learn_delay=learn_delay,
+            remove_crashed=True,
+            rng=rng,
+        )

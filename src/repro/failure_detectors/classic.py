@@ -1,0 +1,89 @@
+"""Classic (non-anonymous) failure detectors Θ and P.
+
+These are *not* used by the paper's anonymous algorithms; they exist for the
+identified baseline protocol (``repro.core.baselines.IdentifiedMajorityUrb``
+does not actually need one, but experiments comparing against the classic
+Θ-based URB construction of Aguilera, Toueg & Deianov use them) and for
+didactic comparison in the examples.
+
+* **Θ (Theta)** — outputs a set of *trusted* process identifiers such that
+  (accuracy) at every time the set contains at least one correct process,
+  and (completeness) eventually it contains no crashed process.
+* **P (Perfect)** — outputs a set of *suspected* identifiers such that no
+  process is suspected before it crashes (strong accuracy) and every crashed
+  process is eventually suspected permanently (strong completeness).
+
+Both are implemented as ground-truth oracles with a configurable detection
+delay, mirroring the anonymous detectors.
+"""
+
+from __future__ import annotations
+
+from ..simulation.simtime import SimTime
+from .oracle import GroundTruthOracle
+
+
+class ThetaDetector:
+    """Classic Θ detector: a trusted set that always contains a correct process."""
+
+    def __init__(self, oracle: GroundTruthOracle, detection_delay: float = 0.0) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+        self.oracle = oracle
+        self.detection_delay = float(detection_delay)
+
+    def trusted(self, process_index: int, now: SimTime) -> frozenset[int]:
+        """The trusted set output at *process_index* at time *now*.
+
+        Processes are trusted until their crash is detected; since at least
+        one correct process exists, the set always contains a correct
+        process (accuracy), and eventually contains only correct processes
+        (completeness).
+        """
+        if not (0 <= process_index < self.oracle.n_processes):
+            raise IndexError("process index out of range")
+        return frozenset(
+            self.oracle.undetected_indices(now, self.detection_delay)
+        )
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return f"Theta(detection_delay={self.detection_delay:g})"
+
+
+class PerfectDetector:
+    """Classic perfect detector P: suspects exactly the crashed processes."""
+
+    def __init__(self, oracle: GroundTruthOracle, detection_delay: float = 0.0) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+        self.oracle = oracle
+        self.detection_delay = float(detection_delay)
+
+    def suspected(self, process_index: int, now: SimTime) -> frozenset[int]:
+        """The suspected set output at *process_index* at time *now*.
+
+        A process is suspected from ``crash_time + detection_delay`` on;
+        correct processes are never suspected (strong accuracy holds because
+        suspicion only starts after an actual crash).
+        """
+        if not (0 <= process_index < self.oracle.n_processes):
+            raise IndexError("process index out of range")
+        return frozenset(
+            index
+            for index in range(self.oracle.n_processes)
+            if self.oracle.is_detected_crashed(index, now, self.detection_delay)
+        )
+
+    def alive(self, process_index: int, now: SimTime) -> frozenset[int]:
+        """Complement of :meth:`suspected` (convenience)."""
+        suspected = self.suspected(process_index, now)
+        return frozenset(
+            index
+            for index in range(self.oracle.n_processes)
+            if index not in suspected
+        )
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return f"P(detection_delay={self.detection_delay:g})"

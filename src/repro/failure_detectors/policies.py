@@ -1,0 +1,66 @@
+"""Label dissemination policies for the anonymous failure-detector oracles.
+
+The formal properties of AΘ hinge on the set ``S(label)`` of processes that
+ever *know* a label (have it in their detector view), because the accuracy
+property quantifies over subsets of ``S(label)``: every ``number``-sized
+subset of ``S(label)`` must contain a correct process.
+
+The oracle therefore lets experiments choose **who gets to see which
+labels** — the dissemination policy:
+
+``CORRECT_ONLY`` (default, "prescient" oracle)
+    Only correct processes' labels are output, and only correct processes'
+    views contain them.  ``S(label) ⊆ Correct`` for every output label, so
+    AΘ-accuracy holds *in every run, with any number of crashes*; this is the
+    instantiation needed for the paper's headline claim that Algorithm 2
+    works without a correct majority.  Faulty processes see empty views (they
+    simply never URB-deliver, which uniform reliable broadcast allows).
+
+``ALL_PROCESSES`` ("detection-based", realistic oracle)
+    Every alive process sees the labels of every process not yet detected as
+    crashed, with ``number`` shrinking as crashes are detected.  This is what
+    an actual timeout-based detector could plausibly compute, but it only
+    satisfies AΘ-accuracy when a majority of processes are correct (the
+    ablation experiment E10 demonstrates the failure without a majority).
+
+``OWN_ONLY`` (degenerate, deliberately unsound)
+    Each process only ever sees its own label, with ``number = 1``.
+    Algorithm 2 then degenerates to "deliver as soon as your own
+    acknowledgement loops back", which violates AΘ-accuracy (the single
+    knower of the label may be faulty) and can break Uniform Agreement when
+    the deliverer crashes.  It exists for negative tests that demonstrate
+    why the accuracy property matters.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DisseminationPolicy(enum.Enum):
+    """Which processes' detector views contain which labels."""
+
+    CORRECT_ONLY = "correct_only"
+    ALL_PROCESSES = "all_processes"
+    OWN_ONLY = "own_only"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_string(cls, value: "str | DisseminationPolicy") -> "DisseminationPolicy":
+        """Parse a policy from its string value (idempotent on enum input)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown dissemination policy {value!r}; expected one of: {valid}"
+            ) from None
+
+    @property
+    def is_safe_without_majority(self) -> bool:
+        """Whether the policy yields accuracy in runs without a correct majority."""
+        return self is DisseminationPolicy.CORRECT_ONLY

@@ -1,0 +1,102 @@
+"""Wire envelopes.
+
+The network layer wraps every protocol payload in an :class:`Envelope` that
+carries routing and timing information.  Crucially, **the envelope is never
+shown to protocol code**: the engine unwraps it and hands only the payload to
+the destination process, exactly like the paper's anonymous ``receive(m)``
+primitive, where «when a process receives a message, it cannot determine who
+is the sender of this message» (§II).
+
+The source index stored in the envelope is used exclusively by the trace
+recorder and the analysis layer (which play the role of the omniscient
+observer used in the paper's proofs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..simulation.simtime import SimTime
+
+_envelope_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A protocol payload in flight on one directed channel.
+
+    Attributes
+    ----------
+    payload:
+        The protocol payload (e.g. ``MsgPayload`` or ``AckPayload``).
+    src:
+        Index of the sending process.  Hidden from protocol code.
+    dst:
+        Index of the destination process.
+    send_time:
+        Simulated time the payload was handed to the channel.
+    deliver_time:
+        Simulated time the payload reaches the destination, or ``None`` if
+        the channel dropped it.
+    envelope_id:
+        Monotonically increasing identifier, unique within a Python process,
+        handy when correlating trace events in tests.
+    """
+
+    payload: Any
+    src: int
+    dst: int
+    send_time: SimTime
+    deliver_time: Optional[SimTime] = None
+    envelope_id: int = field(default_factory=lambda: next(_envelope_counter))
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the channel dropped this envelope."""
+        return self.deliver_time is None
+
+    @property
+    def in_flight_duration(self) -> Optional[float]:
+        """Channel latency of the envelope, or ``None`` if dropped."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.send_time
+
+    def describe(self) -> str:
+        """Human-readable one-liner for debugging."""
+        status = (
+            "dropped" if self.dropped else f"delivered@{self.deliver_time:.4f}"
+        )
+        return (
+            f"Envelope#{self.envelope_id} p{self.src}->p{self.dst} "
+            f"sent@{self.send_time:.4f} {status}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TransmissionOutcome:
+    """Result of handing one payload to one directed channel.
+
+    Returned by :meth:`repro.network.network.Network.broadcast` so the engine
+    can schedule receive events and record drops without re-querying the
+    channel.
+    """
+
+    envelope: Envelope
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the payload will reach its destination."""
+        return not self.envelope.dropped
+
+    @property
+    def dst(self) -> int:
+        """Destination process index."""
+        return self.envelope.dst
+
+    @property
+    def deliver_time(self) -> Optional[SimTime]:
+        """Delivery time at the destination (``None`` if dropped)."""
+        return self.envelope.deliver_time

@@ -1,0 +1,175 @@
+"""The completely connected anonymous network.
+
+The paper's processes communicate through a completely connected network of
+bidirectional fair lossy channels using a single ``broadcast(m)`` primitive
+that sends ``m`` to *all* processes, including the sender itself (§I, §II).
+
+:class:`Network` owns the ``n × n`` directed channels (built lazily from a
+channel factory) and implements the broadcast primitive by handing one copy
+of the payload to every directed channel originating at the sender.  It
+returns a :class:`~repro.network.messagebox.TransmissionOutcome` per
+destination so the engine can schedule the corresponding receive events and
+record drops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from ..simulation.rng import RandomSource
+from ..simulation.simtime import SimTime
+from .channel import Channel
+from .loss import DedupKey
+from .messagebox import Envelope, TransmissionOutcome
+
+
+class ChannelFactory(Protocol):
+    """Anything that can build a directed channel for a process pair."""
+
+    def build(self, src: int, dst: int, loss_rng, delay_rng) -> Channel:
+        """Create the channel for the directed pair ``src -> dst``."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable factory description."""
+        ...
+
+
+def default_dedup_key(payload: Any) -> DedupKey:
+    """Default deduplication key: the payload itself (payloads are hashable
+    frozen dataclasses, and identical retransmissions compare equal)."""
+    return payload
+
+
+class Network:
+    """Completely connected topology with an anonymous broadcast primitive.
+
+    Parameters
+    ----------
+    n_processes:
+        Number of processes.
+    channel_factory:
+        Factory building each directed channel (fair lossy by default).
+    random_source:
+        Master random source; each channel gets independent loss and delay
+        substreams.
+    loopback_delivers:
+        Whether a broadcast also delivers to the sender itself.  The paper's
+        primitive includes the sender («send a message to all processes
+        (including itself)»), so this defaults to ``True``.
+    dedup_key:
+        Function mapping a payload to its deduplication key (used by loss
+        models and the fairness guard to recognise retransmissions of the
+        same protocol message).
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        channel_factory: ChannelFactory,
+        random_source: Optional[RandomSource] = None,
+        *,
+        loopback_delivers: bool = True,
+        dedup_key=default_dedup_key,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        self.n_processes = n_processes
+        self.channel_factory = channel_factory
+        self.random_source = random_source or RandomSource(0)
+        self.loopback_delivers = loopback_delivers
+        self.dedup_key = dedup_key
+        self._channels: dict[tuple[int, int], Channel] = {}
+
+    # ------------------------------------------------------------------ #
+    # channels
+    # ------------------------------------------------------------------ #
+    def channel(self, src: int, dst: int) -> Channel:
+        """Return (building lazily) the directed channel ``src -> dst``."""
+        self._check_index(src)
+        self._check_index(dst)
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self.channel_factory.build(
+                src,
+                dst,
+                self.random_source.for_component("loss", src * self.n_processes + dst),
+                self.random_source.for_component("delay", src * self.n_processes + dst),
+            )
+            self._channels[key] = channel
+        return channel
+
+    @property
+    def channels(self) -> dict[tuple[int, int], Channel]:
+        """All channels instantiated so far, keyed by ``(src, dst)``."""
+        return dict(self._channels)
+
+    # ------------------------------------------------------------------ #
+    # communication primitives
+    # ------------------------------------------------------------------ #
+    def broadcast(self, src: int, payload: Any, now: SimTime) -> list[TransmissionOutcome]:
+        """The paper's ``broadcast(m)``: one copy to every process.
+
+        Returns one :class:`TransmissionOutcome` per destination (including
+        the sender itself when loopback is enabled), in destination-index
+        order so runs stay deterministic.
+        """
+        self._check_index(src)
+        outcomes: list[TransmissionOutcome] = []
+        key = self.dedup_key(payload)
+        for dst in range(self.n_processes):
+            if dst == src and not self.loopback_delivers:
+                continue
+            outcomes.append(self._transmit(src, dst, payload, key, now))
+        return outcomes
+
+    def unicast(self, src: int, dst: int, payload: Any, now: SimTime) -> TransmissionOutcome:
+        """Point-to-point send (not used by the paper's protocols, provided
+        for baseline protocols and tests)."""
+        self._check_index(src)
+        self._check_index(dst)
+        return self._transmit(src, dst, payload, self.dedup_key(payload), now)
+
+    def _transmit(
+        self, src: int, dst: int, payload: Any, key: DedupKey, now: SimTime
+    ) -> TransmissionOutcome:
+        channel = self.channel(src, dst)
+        deliver_time = channel.transmit(key, now)
+        envelope = Envelope(
+            payload=payload,
+            src=src,
+            dst=dst,
+            send_time=now,
+            deliver_time=deliver_time,
+        )
+        return TransmissionOutcome(envelope=envelope)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def total_attempts(self) -> int:
+        """Total transmission attempts across all instantiated channels."""
+        return sum(c.stats.attempts for c in self._channels.values())
+
+    def total_drops(self) -> int:
+        """Total drops across all instantiated channels."""
+        return sum(c.stats.dropped for c in self._channels.values())
+
+    def observed_drop_rate(self) -> float:
+        """Aggregate observed drop rate across all channels."""
+        attempts = self.total_attempts()
+        return self.total_drops() / attempts if attempts else 0.0
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return (
+            f"complete-graph(n={self.n_processes}, "
+            f"channels={self.channel_factory.describe()})"
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.n_processes):
+            raise IndexError(
+                f"process index {index} out of range [0, {self.n_processes})"
+            )

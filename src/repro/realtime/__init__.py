@@ -1,0 +1,19 @@
+"""Real-time (asyncio) execution of the broadcast protocols — the same
+protocol classes as the simulator, driven by wall-clock timers and an
+in-process lossy transport."""
+
+from .cluster import (
+    RealTimeBroadcast,
+    RealTimeCluster,
+    RealTimeEnvironment,
+    RealTimeProcessFactory,
+    RealTimeReport,
+)
+
+__all__ = [
+    "RealTimeBroadcast",
+    "RealTimeCluster",
+    "RealTimeEnvironment",
+    "RealTimeProcessFactory",
+    "RealTimeReport",
+]

@@ -1,0 +1,302 @@
+"""Real-time (asyncio) execution of the broadcast protocols.
+
+The protocol classes in :mod:`repro.core` only talk to the
+:class:`~repro.core.interfaces.EnvironmentAPI`, so the same unmodified code
+that runs inside the discrete-event simulator can run against a *real-time*
+in-process transport: every process is an asyncio task, channels are queues
+with genuine (wall-clock) delays and optional random loss, and the Task 1
+retransmission loop is driven by real timers.
+
+This module is the "real transport behind the same interface" extension
+promised in DESIGN.md §6.  It deliberately stays in-process (no sockets): the
+goal is to demonstrate transport-independence of the protocol layer and to
+provide a second, timing-realistic harness for smoke tests — not to be a
+deployment vehicle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.interfaces import BroadcastProtocol
+from ..core.messages import TaggedMessage, payload_kind
+from ..failure_detectors.base import FailureDetector, FailureDetectorView
+from ..simulation.rng import RandomSource
+
+#: Factory building the protocol process for index ``i`` given its
+#: environment (same shape as the simulator's factory).
+RealTimeProcessFactory = Callable[[int, "RealTimeEnvironment"], BroadcastProtocol]
+
+
+@dataclass(frozen=True)
+class RealTimeBroadcast:
+    """One application broadcast injected into a real-time run."""
+
+    delay: float
+    sender: int
+    content: Any
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self.sender < 0:
+            raise ValueError("sender must be a valid index")
+
+
+@dataclass
+class RealTimeReport:
+    """Outcome of a real-time run."""
+
+    duration: float
+    deliveries: dict[int, list[Any]]
+    delivery_times: list[tuple[float, int, Any]]
+    sends_by_kind: dict[str, int] = field(default_factory=dict)
+    total_sends: int = 0
+    drops: int = 0
+    last_send_elapsed: Optional[float] = None
+
+    def delivered_everywhere(self, contents: Sequence[Any],
+                             indices: Sequence[int]) -> bool:
+        """Whether every process in *indices* delivered every content."""
+        return all(
+            set(contents) <= set(self.deliveries.get(index, []))
+            for index in indices
+        )
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        per_process = ", ".join(
+            f"p{index}:{len(items)}" for index, items in sorted(self.deliveries.items())
+        )
+        return (
+            f"realtime-run({self.duration:.2f}s, sends={self.total_sends}, "
+            f"drops={self.drops}, deliveries=[{per_process}])"
+        )
+
+
+class RealTimeEnvironment:
+    """EnvironmentAPI implementation backed by a :class:`RealTimeCluster`."""
+
+    def __init__(self, index: int, cluster: "RealTimeCluster") -> None:
+        self._index = index
+        self._cluster = cluster
+        self._random = cluster.random_source.for_process(index)
+
+    def broadcast(self, payload: Any) -> None:
+        self._cluster.broadcast_from(self._index, payload)
+
+    @property
+    def random(self) -> random.Random:
+        return self._random
+
+    def atheta(self) -> FailureDetectorView:
+        return self._cluster.detector_view(self._cluster.atheta, self._index)
+
+    def apstar(self) -> FailureDetectorView:
+        return self._cluster.detector_view(self._cluster.apstar, self._index)
+
+    def notify_delivery(self, message: TaggedMessage) -> None:
+        self._cluster.on_delivery(self._index, message)
+
+    def notify_retire(self, message: TaggedMessage) -> None:
+        # Retirements are interesting for quiescence analysis in the
+        # simulator; in the real-time harness they need no bookkeeping.
+        return None
+
+
+class RealTimeCluster:
+    """Runs ``n`` protocol instances over an in-process asyncio transport.
+
+    Parameters
+    ----------
+    n_processes:
+        Number of processes.
+    process_factory:
+        Builds each protocol instance, e.g.
+        ``lambda i, env: QuiescentUrbProcess(env)``.
+    loss_probability:
+        Independent per-copy drop probability of the in-memory channels.
+    delay_range:
+        Uniform per-copy transfer delay bounds, in (wall-clock) seconds.
+    tick_interval:
+        Real-time period of the Task 1 retransmission loop, in seconds.
+    seed:
+        Master seed for tags, loss and delays.
+    atheta / apstar:
+        Optional failure-detector oracles; they are queried with the elapsed
+        wall-clock time since the run started.
+    crash_after:
+        Optional mapping ``index -> seconds`` after which the process is
+        crash-stopped (it stops receiving, ticking and sending).
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        process_factory: RealTimeProcessFactory,
+        *,
+        loss_probability: float = 0.0,
+        delay_range: tuple[float, float] = (0.001, 0.005),
+        tick_interval: float = 0.02,
+        seed: int = 0,
+        atheta: Optional[FailureDetector] = None,
+        apstar: Optional[FailureDetector] = None,
+        crash_after: Optional[dict[int, float]] = None,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if delay_range[0] <= 0 or delay_range[1] < delay_range[0]:
+            raise ValueError("delay_range must be positive and ordered")
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        self.n_processes = n_processes
+        self.loss_probability = loss_probability
+        self.delay_range = delay_range
+        self.tick_interval = tick_interval
+        self.random_source = RandomSource(seed)
+        self.atheta = atheta
+        self.apstar = apstar
+        self.crash_after = dict(crash_after or {})
+
+        self._loss_rng = self.random_source.stream("rt-loss")
+        self._delay_rng = self.random_source.stream("rt-delay")
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._crashed: set[int] = set()
+        self._start_monotonic: float = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+        self.environments = {
+            index: RealTimeEnvironment(index, self) for index in range(n_processes)
+        }
+        self.processes: dict[int, BroadcastProtocol] = {
+            index: process_factory(index, env)
+            for index, env in self.environments.items()
+        }
+
+        # Metrics.
+        self._total_sends = 0
+        self._drops = 0
+        self._sends_by_kind: dict[str, int] = {}
+        self._last_send_elapsed: Optional[float] = None
+        self._delivery_times: list[tuple[float, int, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    # services used by RealTimeEnvironment
+    # ------------------------------------------------------------------ #
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the run started (0 before the run starts)."""
+        if self._start_monotonic == 0.0:
+            return 0.0
+        return time.monotonic() - self._start_monotonic
+
+    def detector_view(self, detector: Optional[FailureDetector],
+                      index: int) -> FailureDetectorView:
+        """Failure-detector view at *index*, using elapsed wall-clock time."""
+        if detector is None:
+            return FailureDetectorView.empty()
+        return detector.view(index, self.elapsed)
+
+    def broadcast_from(self, src: int, payload: Any) -> None:
+        """Anonymous broadcast: one copy per process, with loss and delay."""
+        if src in self._crashed or self._loop is None:
+            return
+        kind = payload_kind(payload)
+        for dst in range(self.n_processes):
+            self._total_sends += 1
+            self._sends_by_kind[kind] = self._sends_by_kind.get(kind, 0) + 1
+            self._last_send_elapsed = self.elapsed
+            if self.loss_probability and self._loss_rng.random() < self.loss_probability:
+                self._drops += 1
+                continue
+            delay = self._delay_rng.uniform(*self.delay_range)
+            self._loop.call_later(delay, self._deliver_copy, dst, payload)
+
+    def on_delivery(self, index: int, message: TaggedMessage) -> None:
+        """Record a URB-delivery with its wall-clock timestamp."""
+        self._delivery_times.append((self.elapsed, index, message.content))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _deliver_copy(self, dst: int, payload: Any) -> None:
+        if dst in self._crashed:
+            return
+        queue = self._queues.get(dst)
+        if queue is not None:
+            queue.put_nowait(payload)
+
+    async def _receiver(self, index: int) -> None:
+        queue = self._queues[index]
+        while True:
+            payload = await queue.get()
+            if index in self._crashed:
+                continue
+            self.processes[index].on_receive(payload)
+
+    async def _ticker(self, index: int) -> None:
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            if index not in self._crashed:
+                self.processes[index].on_tick()
+
+    async def _crasher(self, index: int, after: float) -> None:
+        await asyncio.sleep(after)
+        self._crashed.add(index)
+
+    async def _injector(self, command: RealTimeBroadcast) -> None:
+        await asyncio.sleep(command.delay)
+        if command.sender not in self._crashed:
+            self.processes[command.sender].urb_broadcast(command.content)
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    async def run(self, workload: Sequence[RealTimeBroadcast],
+                  duration: float) -> RealTimeReport:
+        """Run the cluster for *duration* seconds of wall-clock time."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        for command in workload:
+            if not (0 <= command.sender < self.n_processes):
+                raise ValueError("workload sender out of range")
+        self._loop = asyncio.get_running_loop()
+        self._queues = {index: asyncio.Queue() for index in range(self.n_processes)}
+        self._start_monotonic = time.monotonic()
+        tasks: list[asyncio.Task] = []
+        try:
+            for index in range(self.n_processes):
+                tasks.append(asyncio.create_task(self._receiver(index)))
+                tasks.append(asyncio.create_task(self._ticker(index)))
+            for index, after in self.crash_after.items():
+                tasks.append(asyncio.create_task(self._crasher(index, after)))
+            for command in workload:
+                tasks.append(asyncio.create_task(self._injector(command)))
+            await asyncio.sleep(duration)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        return RealTimeReport(
+            duration=duration,
+            deliveries={
+                index: process.delivered_contents()
+                for index, process in self.processes.items()
+            },
+            delivery_times=list(self._delivery_times),
+            sends_by_kind=dict(self._sends_by_kind),
+            total_sends=self._total_sends,
+            drops=self._drops,
+            last_send_elapsed=self._last_send_elapsed,
+        )
+
+    def run_sync(self, workload: Sequence[RealTimeBroadcast],
+                 duration: float) -> RealTimeReport:
+        """Blocking wrapper around :meth:`run` (creates its own event loop)."""
+        return asyncio.run(self.run(workload, duration))

@@ -1,0 +1,444 @@
+"""The discrete-event simulation engine.
+
+:class:`SimulationEngine` wires together the pieces of one run — processes,
+anonymous network, crash schedule, failure-detector oracles, workload,
+tracing and metrics — and drives the event loop until the horizon, an
+early-stop predicate, or an explicit stop request.
+
+The engine is deliberately protocol-agnostic: protocols only see their
+:class:`~repro.simulation.environment.ProcessEnvironment`, and the engine
+only calls the three :class:`~repro.core.interfaces.BroadcastProtocol`
+entry points (``urb_broadcast``, ``on_receive``, ``on_tick``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..core.delivery import DeliveryLog
+from ..core.interfaces import BroadcastProtocol
+from ..core.messages import TaggedMessage, payload_kind
+from ..failure_detectors.base import FailureDetector, FailureDetectorView
+from ..network.network import Network
+from .config import SimulationConfig
+from .environment import ProcessEnvironment
+from .events import BroadcastCommand, Event, EventKind, EventStats
+from .faults import CrashSchedule
+from .hooks import EngineHook
+from .metrics import MetricsCollector, MetricsSummary
+from .rng import RandomSource
+from .scheduler import EventQueue
+from .simtime import SimTime
+from .tracing import TraceCategory, TraceRecorder
+
+#: Factory building the protocol process for index ``i`` given its
+#: environment.  The index is provided so that *builders* (not the processes
+#: themselves) can construct identified baselines; anonymous protocols must
+#: ignore it.
+ProcessFactory = Callable[[int, ProcessEnvironment], BroadcastProtocol]
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything observable about a finished run."""
+
+    config: SimulationConfig
+    crash_schedule: CrashSchedule
+    trace: TraceRecorder
+    metrics: MetricsCollector
+    delivery_logs: dict[int, DeliveryLog]
+    processes: dict[int, BroadcastProtocol]
+    expected_contents: tuple[Any, ...]
+    final_time: SimTime
+    stop_reason: str
+    event_stats: EventStats = field(default_factory=EventStats)
+
+    @property
+    def n_processes(self) -> int:
+        """Number of processes in the run."""
+        return self.config.n_processes
+
+    def correct_indices(self) -> tuple[int, ...]:
+        """Indices of the correct processes."""
+        return self.crash_schedule.correct_indices()
+
+    def deliveries_of(self, index: int) -> list[Any]:
+        """Application contents delivered by process *index*, in order."""
+        return self.delivery_logs[index].contents()
+
+    def metrics_summary(self) -> MetricsSummary:
+        """Aggregate metrics of the run."""
+        return self.metrics.summary()
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and examples."""
+        summary = self.metrics_summary()
+        return (
+            f"run(n={self.n_processes}, crashes={self.crash_schedule.n_faulty}, "
+            f"deliveries={summary.deliveries}, sends={summary.total_sends}, "
+            f"finished@{self.final_time:g}, reason={self.stop_reason})"
+        )
+
+
+class SimulationEngine:
+    """Drives one simulated run of an anonymous broadcast protocol.
+
+    Parameters
+    ----------
+    config:
+        Engine-level parameters (n, tick period, horizon, seed, stopping).
+    network:
+        The anonymous network (channels + broadcast primitive).
+    process_factory:
+        Builds the protocol instance for each process index.
+    crash_schedule:
+        The run's failure pattern; defaults to "no crashes".
+    workload:
+        Application-level broadcast commands to inject.
+    atheta / apstar:
+        Failure-detector oracles consulted by the processes' environments;
+        ``None`` yields empty views (Algorithm 1 never reads them).
+    trace / metrics:
+        Optional pre-built recorders (auto-created otherwise).
+    hooks:
+        Engine hooks (observation / adversarial steering).
+    trace_ticks:
+        Whether to record a trace event per retransmission round.  Disabled
+        by default because tick events dominate trace size without adding
+        information (sends are traced individually anyway).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        network: Network,
+        process_factory: ProcessFactory,
+        *,
+        crash_schedule: Optional[CrashSchedule] = None,
+        workload: Iterable[BroadcastCommand] = (),
+        atheta: Optional[FailureDetector] = None,
+        apstar: Optional[FailureDetector] = None,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsCollector] = None,
+        hooks: Sequence[EngineHook] = (),
+        trace_ticks: bool = False,
+    ) -> None:
+        if network.n_processes != config.n_processes:
+            raise ValueError(
+                f"network size ({network.n_processes}) does not match config "
+                f"({config.n_processes})"
+            )
+        self.config = config
+        self.network = network
+        self.crash_schedule = crash_schedule or CrashSchedule.none(config.n_processes)
+        if self.crash_schedule.n_processes != config.n_processes:
+            raise ValueError("crash schedule size does not match config")
+        self.workload: tuple[BroadcastCommand, ...] = tuple(workload)
+        for command in self.workload:
+            if command.sender >= config.n_processes:
+                raise ValueError(
+                    f"workload sender {command.sender} out of range for "
+                    f"n={config.n_processes}"
+                )
+        self.atheta = atheta
+        self.apstar = apstar
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.hooks: list[EngineHook] = list(hooks)
+        self.trace_ticks = trace_ticks
+
+        self.random_source = RandomSource(config.seed)
+        # Re-seed the network's channel substreams from the run seed unless
+        # the caller wired a specific source already.
+        if network.random_source.master_seed != config.seed:
+            network.random_source = RandomSource(config.seed)
+
+        self.queue = EventQueue()
+        self.event_stats = EventStats()
+        self._now: SimTime = 0.0
+        self._crashed: set[int] = set()
+        self._stop_requested = False
+        self._stop_reason = "horizon"
+        self._stop_deadline: Optional[SimTime] = None
+
+        # Build processes and their environments.
+        self.environments: dict[int, ProcessEnvironment] = {}
+        self.processes: dict[int, BroadcastProtocol] = {}
+        for index in range(config.n_processes):
+            env = ProcessEnvironment(index, self)
+            self.environments[index] = env
+            self.processes[index] = process_factory(index, env)
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time (time of the event being dispatched)."""
+        return self._now
+
+    def is_crashed(self, index: int) -> bool:
+        """Whether process *index* has crashed already."""
+        return index in self._crashed
+
+    def alive_indices(self) -> tuple[int, ...]:
+        """Processes that have not crashed yet."""
+        return tuple(
+            i for i in range(self.config.n_processes) if i not in self._crashed
+        )
+
+    # ------------------------------------------------------------------ #
+    # services used by ProcessEnvironment
+    # ------------------------------------------------------------------ #
+    def broadcast_from(self, src: int, payload: Any) -> None:
+        """Execute the anonymous broadcast primitive on behalf of *src*."""
+        if src in self._crashed:
+            # A crashed process executes no further statements; silently
+            # dropping the call keeps hooks and protocols simpler.
+            return
+        kind = payload_kind(payload)
+        outcomes = self.network.broadcast(src, payload, self._now)
+        for hook in self.hooks:
+            hook.on_send(self, src, payload, self._now)
+        for outcome in outcomes:
+            envelope = outcome.envelope
+            self.metrics.on_send(self._now, src, kind)
+            self.trace.record(
+                self._now,
+                TraceCategory.SEND,
+                src,
+                dst=envelope.dst,
+                kind=kind,
+                payload=payload,
+            )
+            if outcome.delivered:
+                self.queue.schedule(
+                    outcome.deliver_time, EventKind.RECEIVE,
+                    target=envelope.dst, payload=payload,
+                )
+            else:
+                self.metrics.on_drop(self._now, src, kind)
+                self.trace.record(
+                    self._now,
+                    TraceCategory.DROP,
+                    src,
+                    dst=envelope.dst,
+                    kind=kind,
+                    payload=payload,
+                )
+
+    def atheta_view(self, index: int) -> FailureDetectorView:
+        """AΘ output for process *index* at the current time."""
+        if self.atheta is None:
+            return FailureDetectorView.empty()
+        return self.atheta.view(index, self._now)
+
+    def apstar_view(self, index: int) -> FailureDetectorView:
+        """AP\\* output for process *index* at the current time."""
+        if self.apstar is None:
+            return FailureDetectorView.empty()
+        return self.apstar.view(index, self._now)
+
+    def on_process_delivered(self, index: int, message: TaggedMessage) -> None:
+        """Record a URB-delivery and fire hooks."""
+        self.metrics.on_urb_deliver(self._now, index, message.content)
+        self.trace.record(
+            self._now,
+            TraceCategory.URB_DELIVER,
+            index,
+            content=message.content,
+            tag=message.tag,
+        )
+        for hook in self.hooks:
+            hook.on_deliver(self, index, message, self._now)
+
+    def on_process_retired(self, index: int, message: TaggedMessage) -> None:
+        """Record the retirement of a message from a process's MSG set."""
+        self.trace.record(
+            self._now,
+            TraceCategory.RETIRE,
+            index,
+            content=message.content,
+            tag=message.tag,
+        )
+
+    # ------------------------------------------------------------------ #
+    # adversarial / external control
+    # ------------------------------------------------------------------ #
+    def crash_now(self, index: int) -> None:
+        """Crash process *index* immediately (used by adversarial hooks)."""
+        if index in self._crashed:
+            return
+        self._crashed.add(index)
+        self.trace.record(self._now, TraceCategory.CRASH, index, forced=True)
+        for hook in self.hooks:
+            hook.on_crash(self, index, self._now)
+
+    def request_stop(self, reason: str) -> None:
+        """Ask the engine to stop at the end of the current event."""
+        self._stop_requested = True
+        self._stop_reason = reason
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return its result."""
+        self._seed_initial_events()
+        for hook in self.hooks:
+            hook.on_run_start(self)
+
+        while self.queue:
+            if self._stop_requested:
+                break
+            event = self.queue.pop()
+            if event.time > self.config.max_time:
+                self._stop_reason = "horizon"
+                break
+            self._now = event.time
+            if self._stop_deadline is not None and self._now >= self._stop_deadline:
+                break
+            self._dispatch(event)
+        final_time = min(self._now, self.config.max_time)
+        self.metrics.on_finish(final_time)
+        for hook in self.hooks:
+            hook.on_run_end(self, final_time)
+        return SimulationResult(
+            config=self.config,
+            crash_schedule=self.crash_schedule,
+            trace=self.trace,
+            metrics=self.metrics,
+            delivery_logs={
+                index: process.delivery_log
+                for index, process in self.processes.items()
+            },
+            processes=dict(self.processes),
+            expected_contents=tuple(cmd.content for cmd in self.workload),
+            final_time=final_time,
+            stop_reason=self._stop_reason,
+            event_stats=self.event_stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _seed_initial_events(self) -> None:
+        for index, crash_time in self.crash_schedule:
+            self.queue.schedule(crash_time, EventKind.CRASH, target=index)
+        for command in self.workload:
+            self.queue.schedule(
+                command.time, EventKind.BROADCAST_REQUEST,
+                target=command.sender, payload=command.content,
+            )
+        for index in range(self.config.n_processes):
+            first_tick = self.config.tick_interval
+            if first_tick <= self.config.max_time:
+                self.queue.schedule(first_tick, EventKind.TICK, target=index)
+        if self.config.stop.any_enabled:
+            self.queue.schedule(
+                self.config.check_interval, EventKind.ENGINE_CHECK
+            )
+
+    def _dispatch(self, event: Event) -> None:
+        self.event_stats.count(event.kind)
+        if event.kind is EventKind.CRASH:
+            self._handle_crash(event)
+        elif event.kind is EventKind.RECEIVE:
+            self._handle_receive(event)
+        elif event.kind is EventKind.TICK:
+            self._handle_tick(event)
+        elif event.kind is EventKind.BROADCAST_REQUEST:
+            self._handle_broadcast_request(event)
+        elif event.kind is EventKind.ENGINE_CHECK:
+            self._handle_engine_check(event)
+        else:  # pragma: no cover - enum is exhaustive
+            raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+    def _handle_crash(self, event: Event) -> None:
+        index = event.target
+        assert index is not None
+        if index in self._crashed:
+            return
+        self._crashed.add(index)
+        self.trace.record(self._now, TraceCategory.CRASH, index)
+        for hook in self.hooks:
+            hook.on_crash(self, index, self._now)
+
+    def _handle_receive(self, event: Event) -> None:
+        index = event.target
+        assert index is not None
+        if index in self._crashed:
+            # The channel delivered the copy but the process is gone; a
+            # crashed process executes no statements, so the copy is lost.
+            return
+        kind = payload_kind(event.payload)
+        self.metrics.on_channel_deliver(self._now, index, kind)
+        self.trace.record(
+            self._now, TraceCategory.CHANNEL_DELIVER, index,
+            kind=kind, payload=event.payload,
+        )
+        self.processes[index].on_receive(event.payload)
+
+    def _handle_tick(self, event: Event) -> None:
+        index = event.target
+        assert index is not None
+        if index not in self._crashed:
+            if self.trace_ticks:
+                self.trace.record(self._now, TraceCategory.TICK, index)
+            self.processes[index].on_tick()
+            next_tick = self._now + self.config.tick_interval
+            if next_tick <= self.config.max_time:
+                self.queue.schedule(next_tick, EventKind.TICK, target=index)
+
+    def _handle_broadcast_request(self, event: Event) -> None:
+        index = event.target
+        assert index is not None
+        if index in self._crashed:
+            return
+        self.metrics.on_urb_broadcast(self._now, index, event.payload)
+        self.trace.record(
+            self._now, TraceCategory.URB_BROADCAST, index, content=event.payload
+        )
+        self.processes[index].urb_broadcast(event.payload)
+
+    def _handle_engine_check(self, event: Event) -> None:
+        stop = self.config.stop
+        satisfied = None
+        if stop.stop_when_quiescent and self._quiescence_reached():
+            satisfied = "quiescent"
+        elif stop.stop_when_all_correct_delivered and self._all_correct_delivered():
+            satisfied = "all correct delivered"
+        if satisfied is not None:
+            if stop.drain_grace_period > 0:
+                if self._stop_deadline is None:
+                    self._stop_deadline = self._now + stop.drain_grace_period
+                    self._stop_reason = satisfied
+            else:
+                self.request_stop(satisfied)
+                return
+        next_check = self._now + self.config.check_interval
+        if next_check <= self.config.max_time:
+            self.queue.schedule(next_check, EventKind.ENGINE_CHECK)
+
+    # -- stop predicates --------------------------------------------------- #
+    def _all_correct_delivered(self) -> bool:
+        expected = {cmd.content for cmd in self.workload}
+        if not expected:
+            return False
+        for index in self.crash_schedule.correct_indices():
+            delivered = self.processes[index].delivery_log.content_set()
+            if not expected <= delivered:
+                return False
+        return True
+
+    def _quiescence_reached(self) -> bool:
+        # Every alive process has no retransmission obligation and nothing
+        # is in flight or still scheduled to be injected.
+        for index in self.alive_indices():
+            if self.processes[index].pending_retransmissions > 0:
+                return False
+        pending = self.queue.pending_by_kind()
+        if pending[EventKind.RECEIVE] or pending[EventKind.BROADCAST_REQUEST]:
+            return False
+        return True

@@ -1,0 +1,68 @@
+"""The per-process environment handed to protocol code.
+
+:class:`ProcessEnvironment` implements
+:class:`repro.core.interfaces.EnvironmentAPI`: it is the *only* object a
+protocol process ever touches.  It deliberately exposes nothing that would
+break the paper's system model:
+
+* no process identifiers (the index is stored privately for the engine's
+  bookkeeping only),
+* no clock (times are recorded engine-side),
+* no topology or channel access beyond the anonymous ``broadcast``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any
+
+from ..core.messages import TaggedMessage
+from ..failure_detectors.base import FailureDetectorView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import SimulationEngine
+
+
+class ProcessEnvironment:
+    """Anonymous runtime environment of one simulated process."""
+
+    def __init__(self, index: int, engine: "SimulationEngine") -> None:
+        self._index = index
+        self._engine = engine
+        self._random = engine.random_source.for_process(index)
+
+    # ------------------------------------------------------------------ #
+    # EnvironmentAPI
+    # ------------------------------------------------------------------ #
+    def broadcast(self, payload: Any) -> None:
+        """The paper's ``broadcast(m)``: one copy to every process."""
+        self._engine.broadcast_from(self._index, payload)
+
+    @property
+    def random(self) -> random.Random:
+        """Process-local random substream (tags)."""
+        return self._random
+
+    def atheta(self) -> FailureDetectorView:
+        """Read the AΘ variable (empty view if no detector is configured)."""
+        return self._engine.atheta_view(self._index)
+
+    def apstar(self) -> FailureDetectorView:
+        """Read the AP\\* variable (empty view if no detector is configured)."""
+        return self._engine.apstar_view(self._index)
+
+    def notify_delivery(self, message: TaggedMessage) -> None:
+        """Report a URB-delivery to the platform (tracing/metrics/hooks)."""
+        self._engine.on_process_delivered(self._index, message)
+
+    def notify_retire(self, message: TaggedMessage) -> None:
+        """Report the retirement of *message* from the retransmission set."""
+        self._engine.on_process_retired(self._index, message)
+
+    # ------------------------------------------------------------------ #
+    # engine-side helpers (not part of EnvironmentAPI)
+    # ------------------------------------------------------------------ #
+    @property
+    def engine_index(self) -> int:
+        """The process index — for engine/analysis use, never protocol code."""
+        return self._index

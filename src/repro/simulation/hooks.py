@@ -1,0 +1,102 @@
+"""Engine hooks.
+
+Hooks let experiments observe or steer a run without modifying protocol or
+engine code.  The impossibility demonstration (paper Theorem 2) is built this
+way: a hook crashes a process the instant it URB-delivers, reproducing the
+adversarial run ``R2`` of the proof.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.messages import TaggedMessage
+from .simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import SimulationEngine
+
+
+class EngineHook:
+    """Base class of engine hooks; every callback is a no-op by default."""
+
+    def on_run_start(self, engine: "SimulationEngine") -> None:
+        """Called once before the first event is dispatched."""
+
+    def on_deliver(self, engine: "SimulationEngine", process: int,
+                   message: TaggedMessage, now: SimTime) -> None:
+        """Called right after *process* URB-delivers *message*."""
+
+    def on_send(self, engine: "SimulationEngine", process: int, payload: object,
+                now: SimTime) -> None:
+        """Called when *process* hands *payload* to the network."""
+
+    def on_crash(self, engine: "SimulationEngine", process: int,
+                 now: SimTime) -> None:
+        """Called when *process* crashes."""
+
+    def on_run_end(self, engine: "SimulationEngine", now: SimTime) -> None:
+        """Called once after the last event is dispatched."""
+
+
+class CrashOnDeliveryHook(EngineHook):
+    """Crash selected processes the moment they URB-deliver anything.
+
+    This is the adversary of the impossibility proof (Theorem 2, run
+    ``R2``): the processes of one partition side deliver a message and then
+    crash before any of their messages can reach the other side.
+
+    Parameters
+    ----------
+    targets:
+        Indices of the processes to crash on delivery.  ``None`` means every
+        process.
+    """
+
+    def __init__(self, targets: set[int] | frozenset[int] | None = None) -> None:
+        self.targets = frozenset(targets) if targets is not None else None
+        #: ``(process, time)`` pairs for every crash this hook performed.
+        self.crashes: list[tuple[int, SimTime]] = []
+
+    def on_deliver(self, engine: "SimulationEngine", process: int,
+                   message: TaggedMessage, now: SimTime) -> None:
+        if self.targets is not None and process not in self.targets:
+            return
+        if engine.is_crashed(process):
+            return
+        engine.crash_now(process)
+        self.crashes.append((process, now))
+
+
+class DeliveryTimelineHook(EngineHook):
+    """Record ``(time, process, content)`` for every delivery (experiments)."""
+
+    def __init__(self) -> None:
+        self.deliveries: list[tuple[SimTime, int, object]] = []
+
+    def on_deliver(self, engine: "SimulationEngine", process: int,
+                   message: TaggedMessage, now: SimTime) -> None:
+        self.deliveries.append((now, process, message.content))
+
+
+class SendBudgetHook(EngineHook):
+    """Abort the run once a global send budget is exceeded.
+
+    A safety valve for property-based tests that explore extreme
+    configurations: rather than letting a pathological configuration grind
+    through millions of sends, the run is stopped and flagged.
+    """
+
+    def __init__(self, max_sends: int) -> None:
+        if max_sends < 1:
+            raise ValueError("max_sends must be positive")
+        self.max_sends = max_sends
+        self.exceeded = False
+        self._sends = 0
+
+    def on_send(self, engine: "SimulationEngine", process: int, payload: object,
+                now: SimTime) -> None:
+        self._sends += 1
+        if self._sends > self.max_sends and not self.exceeded:
+            self.exceeded = True
+            engine.request_stop("send budget exceeded")

@@ -1,0 +1,181 @@
+"""Aggregate run metrics.
+
+While :class:`repro.simulation.tracing.TraceRecorder` keeps a full event log,
+:class:`MetricsCollector` keeps cheap aggregate counters and samples that the
+experiment harness reports directly: messages sent/dropped/received by
+payload kind, per-process send counts, delivery latencies and a cumulative
+send timeline (the raw material for the quiescence figures).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .simtime import SimTime
+
+
+@dataclass(slots=True)
+class LatencySample:
+    """One delivery latency observation.
+
+    Attributes
+    ----------
+    content:
+        The application payload delivered.
+    process:
+        The delivering process.
+    broadcast_time:
+        Time the payload was URB-broadcast by its sender.
+    deliver_time:
+        Time this process URB-delivered it.
+    """
+
+    content: object
+    process: int
+    broadcast_time: SimTime
+    deliver_time: SimTime
+
+    @property
+    def latency(self) -> float:
+        """Delivery latency (``deliver_time - broadcast_time``)."""
+        return self.deliver_time - self.broadcast_time
+
+
+@dataclass(slots=True)
+class MetricsSummary:
+    """Aggregate view of a finished run, as reported by experiments."""
+
+    total_sends: int
+    total_drops: int
+    total_channel_deliveries: int
+    sends_by_kind: dict[str, int]
+    sends_by_process: dict[int, int]
+    deliveries: int
+    mean_latency: Optional[float]
+    max_latency: Optional[float]
+    p95_latency: Optional[float]
+    last_send_time: Optional[SimTime]
+    final_time: SimTime
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (JSON friendly)."""
+        return {
+            "total_sends": self.total_sends,
+            "total_drops": self.total_drops,
+            "total_channel_deliveries": self.total_channel_deliveries,
+            "sends_by_kind": dict(self.sends_by_kind),
+            "sends_by_process": dict(self.sends_by_process),
+            "deliveries": self.deliveries,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "p95_latency": self.p95_latency,
+            "last_send_time": self.last_send_time,
+            "final_time": self.final_time,
+        }
+
+
+class MetricsCollector:
+    """Accumulates aggregate counters during a run."""
+
+    def __init__(self) -> None:
+        self.total_sends: int = 0
+        self.total_drops: int = 0
+        self.total_channel_deliveries: int = 0
+        self.sends_by_kind: dict[str, int] = defaultdict(int)
+        self.sends_by_process: dict[int, int] = defaultdict(int)
+        self.drops_by_kind: dict[str, int] = defaultdict(int)
+        self.latency_samples: list[LatencySample] = []
+        #: ``(time, cumulative_send_count)`` pairs, one per send.
+        self.send_timeline: list[tuple[SimTime, int]] = []
+        self.broadcast_times: dict[object, SimTime] = {}
+        self.last_send_time: Optional[SimTime] = None
+        self.final_time: SimTime = 0.0
+
+    # ------------------------------------------------------------------ #
+    # recording hooks called by the engine
+    # ------------------------------------------------------------------ #
+    def on_send(self, time: SimTime, src: int, kind: str) -> None:
+        """Record one protocol payload handed to one directed channel."""
+        self.total_sends += 1
+        self.sends_by_kind[kind] += 1
+        self.sends_by_process[src] += 1
+        self.last_send_time = time
+        self.send_timeline.append((time, self.total_sends))
+
+    def on_drop(self, time: SimTime, src: int, kind: str) -> None:
+        """Record a channel drop."""
+        self.total_drops += 1
+        self.drops_by_kind[kind] += 1
+
+    def on_channel_deliver(self, time: SimTime, dst: int, kind: str) -> None:
+        """Record a channel delivery (payload reached its destination)."""
+        self.total_channel_deliveries += 1
+
+    def on_urb_broadcast(self, time: SimTime, sender: int, content: object) -> None:
+        """Record the application-level broadcast of *content*."""
+        # First broadcast time wins; re-broadcasting the same content is a
+        # workload decision, and latency is measured from the first attempt.
+        self.broadcast_times.setdefault(content, time)
+
+    def on_urb_deliver(self, time: SimTime, process: int, content: object) -> None:
+        """Record the URB-delivery of *content* at *process*."""
+        broadcast_time = self.broadcast_times.get(content, 0.0)
+        self.latency_samples.append(
+            LatencySample(
+                content=content,
+                process=process,
+                broadcast_time=broadcast_time,
+                deliver_time=time,
+            )
+        )
+
+    def on_finish(self, time: SimTime) -> None:
+        """Record the final simulated time of the run."""
+        self.final_time = time
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def deliveries(self) -> int:
+        """Total number of URB-deliveries across all processes."""
+        return len(self.latency_samples)
+
+    def latencies(self) -> np.ndarray:
+        """Delivery latencies as a NumPy array (possibly empty)."""
+        return np.asarray([s.latency for s in self.latency_samples], dtype=float)
+
+    def sends_in_window(self, start: SimTime, end: SimTime) -> int:
+        """Number of sends with ``start <= time < end``."""
+        return sum(1 for t, _ in self.send_timeline if start <= t < end)
+
+    def cumulative_sends_at(self, time: SimTime) -> int:
+        """Cumulative number of sends up to and including *time*."""
+        count = 0
+        for t, cumulative in self.send_timeline:
+            if t <= time:
+                count = cumulative
+            else:
+                break
+        return count
+
+    def summary(self) -> MetricsSummary:
+        """Build the aggregate :class:`MetricsSummary` for reporting."""
+        lat = self.latencies()
+        return MetricsSummary(
+            total_sends=self.total_sends,
+            total_drops=self.total_drops,
+            total_channel_deliveries=self.total_channel_deliveries,
+            sends_by_kind=dict(self.sends_by_kind),
+            sends_by_process=dict(self.sends_by_process),
+            deliveries=self.deliveries,
+            mean_latency=float(lat.mean()) if lat.size else None,
+            max_latency=float(lat.max()) if lat.size else None,
+            p95_latency=float(np.percentile(lat, 95)) if lat.size else None,
+            last_send_time=self.last_send_time,
+            final_time=self.final_time,
+        )

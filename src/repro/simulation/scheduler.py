@@ -1,0 +1,151 @@
+"""Binary-heap event queue used by the simulation engine.
+
+The queue enforces two invariants that the rest of the simulator relies on:
+
+* *Monotonicity* — events are popped in non-decreasing time order and an
+  event can never be scheduled in the past relative to the last popped time.
+* *Determinism* — events scheduled for the same instant are popped in the
+  order they were pushed (FIFO tie-break via a monotonically increasing
+  sequence counter).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, Optional
+
+from .events import Event, EventKind
+from .simtime import SimTime, validate_time
+
+
+class SchedulingError(RuntimeError):
+    """Raised when an event would violate the scheduler's invariants."""
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`~repro.simulation.events.Event`.
+
+    The queue assigns sequence numbers itself; callers provide only the time,
+    kind, target and payload.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._next_seq: int = 0
+        self._last_popped_time: SimTime = 0.0
+        self._pushed: int = 0
+        self._popped: int = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        time: SimTime,
+        kind: EventKind,
+        target: Optional[int] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Create and enqueue an event.
+
+        Raises
+        ------
+        SchedulingError
+            If *time* precedes the time of the last popped event (scheduling
+            into the past would break causality).
+        """
+        validate_time(time, name="scheduled time")
+        if time < self._last_popped_time:
+            raise SchedulingError(
+                f"cannot schedule event at t={time} before current "
+                f"simulation time t={self._last_popped_time}"
+            )
+        event = Event(
+            time=time, seq=self._next_seq, kind=kind, target=target, payload=payload
+        )
+        self._next_seq += 1
+        self._pushed += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def push_event(self, event: Event) -> None:
+        """Enqueue an already-constructed event (used in tests)."""
+        if event.time < self._last_popped_time:
+            raise SchedulingError(
+                f"cannot schedule event at t={event.time} before current "
+                f"simulation time t={self._last_popped_time}"
+            )
+        self._pushed += 1
+        heapq.heappush(self._heap, event)
+
+    # ------------------------------------------------------------------ #
+    # consumption
+    # ------------------------------------------------------------------ #
+    def pop(self) -> Event:
+        """Pop and return the earliest event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        event = heapq.heappop(self._heap)
+        self._last_popped_time = event.time
+        self._popped += 1
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest event, or ``None``."""
+        return self._heap[0] if self._heap else None
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Return the time of the earliest event, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over pending events in time order (non-destructive)."""
+        return iter(sorted(self._heap))
+
+    @property
+    def current_time(self) -> SimTime:
+        """Time of the last popped event (the engine's notion of "now")."""
+        return self._last_popped_time
+
+    @property
+    def pushed_count(self) -> int:
+        """Total number of events ever pushed."""
+        return self._pushed
+
+    @property
+    def popped_count(self) -> int:
+        """Total number of events ever popped."""
+        return self._popped
+
+    def pending_by_kind(self) -> dict[EventKind, int]:
+        """Return a histogram of pending events by kind (for diagnostics)."""
+        counts: dict[EventKind, int] = {kind: 0 for kind in EventKind}
+        for event in self._heap:
+            counts[event.kind] += 1
+        return counts
+
+    def drop_pending(self, kind: EventKind) -> int:
+        """Remove every pending event of *kind*; return how many were removed.
+
+        Used by early-stop logic to discard future ticks once a run has been
+        declared finished.
+        """
+        kept = [event for event in self._heap if event.kind is not kind]
+        removed = len(self._heap) - len(kept)
+        if removed:
+            heapq.heapify(kept)
+            self._heap = kept
+        return removed

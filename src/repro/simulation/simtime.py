@@ -1,0 +1,163 @@
+"""Simulated-time primitives.
+
+The paper's system model (§II) postulates a *global clock* whose values are
+the positive natural numbers, used purely as an auxiliary notion: processes
+can neither read nor modify it.  The simulator keeps the same discipline —
+simulated time is a float owned by the engine, protocol code never sees it.
+
+This module centralises the small amount of arithmetic and validation done on
+simulated timestamps so the rest of the code base can treat ``SimTime`` as an
+opaque, totally ordered quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Simulated time is represented as a non-negative float (seconds of
+#: simulated time; the unit is arbitrary but consistent across the library).
+SimTime = float
+
+#: The origin of simulated time.
+TIME_ZERO: SimTime = 0.0
+
+#: A sentinel meaning "never happens" (e.g. a process that never crashes).
+NEVER: SimTime = math.inf
+
+
+def validate_time(value: SimTime, *, name: str = "time") -> SimTime:
+    """Validate that *value* is a usable simulated timestamp.
+
+    Parameters
+    ----------
+    value:
+        Candidate timestamp.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    SimTime
+        The validated value (unchanged).
+
+    Raises
+    ------
+    ValueError
+        If the value is negative or NaN.
+    TypeError
+        If the value is not a real number.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def validate_duration(value: float, *, name: str = "duration",
+                      allow_zero: bool = False) -> float:
+    """Validate a duration (a difference of simulated timestamps).
+
+    Parameters
+    ----------
+    value:
+        Candidate duration.
+    name:
+        Name used in error messages.
+    allow_zero:
+        Whether a zero duration is acceptable.
+
+    Returns
+    -------
+    float
+        The validated duration.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if value < 0.0 or (value == 0.0 and not allow_zero):
+        comparator = "non-negative" if allow_zero else "positive"
+        raise ValueError(f"{name} must be {comparator}, got {value}")
+    return value
+
+
+def is_never(value: SimTime) -> bool:
+    """Return ``True`` if *value* is the "never" sentinel (+inf)."""
+    return math.isinf(value) and value > 0
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """A half-open interval ``[start, end)`` of simulated time.
+
+    Used by workload generators and analysis code to express "during this
+    period" without repeating interval arithmetic everywhere.
+    """
+
+    start: SimTime
+    end: SimTime
+
+    def __post_init__(self) -> None:
+        validate_time(self.start, name="start")
+        if not is_never(self.end):
+            validate_time(self.end, name="end")
+        if self.end < self.start:
+            raise ValueError(
+                f"TimeWindow end ({self.end}) must be >= start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the window (may be ``inf`` for open-ended windows)."""
+        return self.end - self.start
+
+    def contains(self, t: SimTime) -> bool:
+        """Return ``True`` if ``start <= t < end``."""
+        return self.start <= t < self.end
+
+    def clamp(self, t: SimTime) -> SimTime:
+        """Clamp *t* into the window (useful for plotting helpers)."""
+        return min(max(t, self.start), self.end)
+
+    def subdivide(self, parts: int) -> list["TimeWindow"]:
+        """Split the window into *parts* equal sub-windows.
+
+        Raises
+        ------
+        ValueError
+            If *parts* is not positive or the window is open-ended.
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if is_never(self.end):
+            raise ValueError("cannot subdivide an open-ended window")
+        step = self.duration / parts
+        return [
+            TimeWindow(self.start + i * step, self.start + (i + 1) * step)
+            for i in range(parts)
+        ]
+
+
+def earliest(times: Iterable[SimTime]) -> SimTime:
+    """Return the earliest of *times*, or ``NEVER`` for an empty iterable."""
+    result = NEVER
+    for t in times:
+        if t < result:
+            result = t
+    return result
+
+
+def latest(times: Iterable[SimTime]) -> SimTime:
+    """Return the latest of *times*, or ``TIME_ZERO`` for an empty iterable."""
+    result = TIME_ZERO
+    for t in times:
+        if t > result:
+            result = t
+    return result

@@ -1,0 +1,198 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` collects a flat, time-ordered list of
+:class:`TraceEvent` records describing everything observable about a run:
+sends, drops, channel deliveries, URB-deliveries, crashes, broadcasts and
+retransmission rounds.  The analysis layer (``repro.analysis``) is written
+entirely against traces, which keeps property checking independent from the
+protocol implementations being checked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+from .simtime import SimTime
+
+
+class TraceCategory(enum.Enum):
+    """Categories of observable run events."""
+
+    #: The application layer invoked ``URB_broadcast(m)`` at a process.
+    URB_BROADCAST = "urb_broadcast"
+    #: A process handed one protocol payload to one directed channel.
+    SEND = "send"
+    #: The channel dropped the payload (fair lossy behaviour).
+    DROP = "drop"
+    #: The payload reached the destination process.
+    CHANNEL_DELIVER = "channel_deliver"
+    #: A process URB-delivered an application message.
+    URB_DELIVER = "urb_deliver"
+    #: A process crashed.
+    CRASH = "crash"
+    #: A retransmission round executed (possibly sending nothing).
+    TICK = "tick"
+    #: A process removed a message from its retransmission set (Algorithm 2).
+    RETIRE = "retire"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observable event of a simulated run.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    category:
+        The :class:`TraceCategory`.
+    process:
+        The index of the process the event concerns.  For channel events
+        this is the *source* process; the destination is in ``details``.
+    details:
+        Category-specific payload (kept as a plain mapping so traces are
+        cheap to build and easy to serialise).
+    """
+
+    time: SimTime
+    category: TraceCategory
+    process: int
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Shorthand for ``details.get(key, default)``."""
+        return self.details.get(key, default)
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in arrival order.
+
+    The recorder can be disabled (``enabled=False``) for large benchmark
+    runs where only aggregate metrics are needed; recording then becomes a
+    no-op while counters in :class:`repro.simulation.metrics.MetricsCollector`
+    keep working.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        time: SimTime,
+        category: TraceCategory,
+        process: int,
+        **details: Any,
+    ) -> Optional[TraceEvent]:
+        """Append one event (no-op when the recorder is disabled)."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(time=time, category=category, process=process,
+                           details=details)
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append pre-built events (used when merging sub-traces)."""
+        if self.enabled:
+            self._events.extend(events)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All recorded events, in recording order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        category: Optional[TraceCategory] = None,
+        process: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Return events matching the given criteria.
+
+        Parameters
+        ----------
+        category:
+            Keep only events of this category.
+        process:
+            Keep only events whose ``process`` field equals this index.
+        predicate:
+            Arbitrary extra filter applied last.
+        """
+        result = []
+        for event in self._events:
+            if category is not None and event.category is not category:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def count(self, category: TraceCategory) -> int:
+        """Number of recorded events of *category*."""
+        return sum(1 for event in self._events if event.category is category)
+
+    def last_time(self, category: TraceCategory) -> Optional[SimTime]:
+        """Time of the last event of *category*, or ``None`` if none."""
+        result: Optional[SimTime] = None
+        for event in self._events:
+            if event.category is category:
+                result = event.time
+        return result
+
+    def first_time(self, category: TraceCategory) -> Optional[SimTime]:
+        """Time of the first event of *category*, or ``None`` if none."""
+        for event in self._events:
+            if event.category is category:
+                return event.time
+        return None
+
+    def timeline(self, category: TraceCategory,
+                 bucket: float) -> list[tuple[SimTime, int]]:
+        """Histogram of *category* events over time.
+
+        Returns a list of ``(bucket_start, count)`` pairs covering the span
+        of the trace with buckets of width *bucket*.
+        """
+        if bucket <= 0:
+            raise ValueError("bucket width must be positive")
+        selected = [e.time for e in self._events if e.category is category]
+        if not selected:
+            return []
+        end = max(selected)
+        n_buckets = int(end // bucket) + 1
+        counts = [0] * n_buckets
+        for t in selected:
+            counts[int(t // bucket)] += 1
+        return [(i * bucket, counts[i]) for i in range(n_buckets)]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialise the trace as a list of plain dictionaries."""
+        return [
+            {
+                "time": event.time,
+                "category": event.category.value,
+                "process": event.process,
+                **dict(event.details),
+            }
+            for event in self._events
+        ]

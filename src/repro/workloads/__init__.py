@@ -1,0 +1,24 @@
+"""Workload generators: application-level broadcast patterns."""
+
+from .base import ExplicitWorkload, Workload
+from .generators import (
+    AllToAll,
+    BurstWorkload,
+    ContentFactory,
+    PoissonStream,
+    SingleBroadcast,
+    UniformStream,
+    default_content_factory,
+)
+
+__all__ = [
+    "AllToAll",
+    "BurstWorkload",
+    "ContentFactory",
+    "ExplicitWorkload",
+    "PoissonStream",
+    "SingleBroadcast",
+    "UniformStream",
+    "Workload",
+    "default_content_factory",
+]

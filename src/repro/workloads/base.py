@@ -1,0 +1,63 @@
+"""Workload abstractions.
+
+A *workload* is the application-level traffic injected into a run: a finite
+schedule of :class:`~repro.simulation.events.BroadcastCommand` (who
+URB-broadcasts what, and when).  Workloads are deterministic given their
+parameters and random substream, so a scenario (workload + configuration +
+seed) fully determines a run.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+from ..simulation.events import BroadcastCommand
+
+
+class Workload(abc.ABC):
+    """A finite schedule of application broadcasts."""
+
+    @abc.abstractmethod
+    def commands(self) -> Sequence[BroadcastCommand]:
+        """The broadcast commands, sorted by time."""
+
+    def __iter__(self) -> Iterator[BroadcastCommand]:
+        return iter(self.commands())
+
+    def __len__(self) -> int:
+        return len(self.commands())
+
+    def contents(self) -> list:
+        """The distinct application contents the workload injects."""
+        seen = []
+        for command in self.commands():
+            if command.content not in seen:
+                seen.append(command.content)
+        return seen
+
+    def senders(self) -> set[int]:
+        """The set of processes that broadcast at least once."""
+        return {command.sender for command in self.commands()}
+
+    def last_broadcast_time(self) -> float:
+        """Time of the last scheduled broadcast (0.0 for an empty workload)."""
+        commands = self.commands()
+        return max((c.time for c in commands), default=0.0)
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return f"{type(self).__name__}({len(self)} broadcasts)"
+
+
+class ExplicitWorkload(Workload):
+    """A workload given as an explicit list of commands."""
+
+    def __init__(self, commands: Sequence[BroadcastCommand]) -> None:
+        self._commands = tuple(sorted(commands, key=lambda c: (c.time, c.sender)))
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        return f"explicit({len(self._commands)} broadcasts)"

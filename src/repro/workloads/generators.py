@@ -1,0 +1,216 @@
+"""Workload generators.
+
+Ready-made broadcast patterns used by the experiments and examples:
+
+* :class:`SingleBroadcast` — one sender, one message (the minimal pattern the
+  paper's proofs reason about).
+* :class:`AllToAll` — every process broadcasts one message (stress on ACK
+  traffic: n² acknowledgement streams per message).
+* :class:`UniformStream` — one or more senders broadcast at a fixed rate.
+* :class:`PoissonStream` — memoryless arrivals, random senders.
+* :class:`BurstWorkload` — a burst of back-to-back broadcasts.
+
+Contents are strings of the form ``"m<k>"`` by default (hashable, readable in
+traces); a custom content factory can be supplied.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from ..simulation.events import BroadcastCommand
+from .base import Workload
+
+#: Builds the application content of the ``k``-th broadcast.
+ContentFactory = Callable[[int], object]
+
+
+def default_content_factory(index: int) -> str:
+    """Default content: ``"m0"``, ``"m1"``, …"""
+    return f"m{index}"
+
+
+class SingleBroadcast(Workload):
+    """One process broadcasts one message at a given time."""
+
+    def __init__(self, sender: int = 0, time: float = 0.0,
+                 content: object = "m0") -> None:
+        self._commands = (BroadcastCommand(time=time, sender=sender, content=content),)
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        command = self._commands[0]
+        return f"single(p{command.sender}@{command.time:g})"
+
+
+class AllToAll(Workload):
+    """Every process broadcasts one message.
+
+    Parameters
+    ----------
+    n_processes:
+        Number of processes.
+    start, spacing:
+        Broadcast ``k`` is issued by process ``k`` at ``start + k * spacing``.
+    content_factory:
+        Builds the content of each broadcast.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        *,
+        start: float = 0.0,
+        spacing: float = 0.0,
+        content_factory: ContentFactory = default_content_factory,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if spacing < 0:
+            raise ValueError("spacing must be non-negative")
+        self._commands = tuple(
+            BroadcastCommand(
+                time=start + sender * spacing,
+                sender=sender,
+                content=content_factory(sender),
+            )
+            for sender in range(n_processes)
+        )
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        return f"all-to-all({len(self._commands)} senders)"
+
+
+class UniformStream(Workload):
+    """Fixed-rate stream of broadcasts from a rotating set of senders."""
+
+    def __init__(
+        self,
+        n_messages: int,
+        *,
+        senders: Sequence[int] = (0,),
+        start: float = 0.0,
+        interval: float = 5.0,
+        content_factory: ContentFactory = default_content_factory,
+    ) -> None:
+        if n_messages < 1:
+            raise ValueError("n_messages must be positive")
+        if not senders:
+            raise ValueError("senders must be non-empty")
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self._commands = tuple(
+            BroadcastCommand(
+                time=start + k * interval,
+                sender=senders[k % len(senders)],
+                content=content_factory(k),
+            )
+            for k in range(n_messages)
+        )
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        return f"uniform-stream({len(self._commands)} msgs)"
+
+
+class PoissonStream(Workload):
+    """Poisson arrivals with uniformly random senders.
+
+    Parameters
+    ----------
+    n_messages:
+        Number of broadcasts.
+    n_processes:
+        Sender indices are drawn uniformly from ``[0, n_processes)``.
+    rate:
+        Mean arrivals per unit of simulated time.
+    rng:
+        Random substream (pass one derived from the run seed for
+        reproducibility).
+    start:
+        Time of the first possible arrival.
+    content_factory:
+        Builds the content of each broadcast.
+    """
+
+    def __init__(
+        self,
+        n_messages: int,
+        n_processes: int,
+        rate: float,
+        rng: random.Random,
+        *,
+        start: float = 0.0,
+        content_factory: ContentFactory = default_content_factory,
+    ) -> None:
+        if n_messages < 1:
+            raise ValueError("n_messages must be positive")
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        commands = []
+        t = start
+        for k in range(n_messages):
+            t += rng.expovariate(rate)
+            commands.append(
+                BroadcastCommand(
+                    time=t,
+                    sender=rng.randrange(n_processes),
+                    content=content_factory(k),
+                )
+            )
+        self._commands = tuple(commands)
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        return f"poisson-stream({len(self._commands)} msgs)"
+
+
+class BurstWorkload(Workload):
+    """A burst of simultaneous broadcasts from one sender (or several).
+
+    All broadcasts happen at the same instant, which maximises the number of
+    concurrently in-flight protocol instances — the worst case for ACK
+    bookkeeping structures.
+    """
+
+    def __init__(
+        self,
+        n_messages: int,
+        *,
+        sender: Optional[int] = 0,
+        senders: Optional[Sequence[int]] = None,
+        time: float = 0.0,
+        content_factory: ContentFactory = default_content_factory,
+    ) -> None:
+        if n_messages < 1:
+            raise ValueError("n_messages must be positive")
+        if senders is None:
+            if sender is None:
+                raise ValueError("either sender or senders must be given")
+            senders = [sender]
+        self._commands = tuple(
+            BroadcastCommand(
+                time=time,
+                sender=senders[k % len(senders)],
+                content=content_factory(k),
+            )
+            for k in range(n_messages)
+        )
+
+    def commands(self) -> Sequence[BroadcastCommand]:
+        return self._commands
+
+    def describe(self) -> str:
+        return f"burst({len(self._commands)} msgs)"

@@ -1,0 +1,54 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling ``helpers`` module importable from every test package.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.experiments.config import Scenario  # noqa: E402
+from repro.network.loss import LossSpec  # noqa: E402
+from repro.workloads.generators import SingleBroadcast  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic ``random.Random`` for tests that need raw randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def fast_scenario_algorithm1() -> Scenario:
+    """A small, fast Algorithm 1 scenario used by integration tests."""
+    return Scenario(
+        name="test-a1",
+        algorithm="algorithm1",
+        n_processes=5,
+        loss=LossSpec.bernoulli(0.2),
+        max_time=80.0,
+        stop_when_all_correct_delivered=True,
+        drain_grace_period=2.0,
+        workload=SingleBroadcast(sender=0, time=0.0),
+        seed=1,
+    )
+
+
+@pytest.fixture
+def fast_scenario_algorithm2() -> Scenario:
+    """A small, fast Algorithm 2 scenario used by integration tests."""
+    return Scenario(
+        name="test-a2",
+        algorithm="algorithm2",
+        n_processes=5,
+        loss=LossSpec.bernoulli(0.2),
+        max_time=120.0,
+        stop_when_quiescent=True,
+        drain_grace_period=4.0,
+        workload=SingleBroadcast(sender=0, time=0.0),
+        seed=1,
+    )

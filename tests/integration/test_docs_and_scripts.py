@@ -1,0 +1,62 @@
+"""Integration tests for repository-level artefacts: the EXPERIMENTS.md
+generator script and the presence/consistency of the documentation files."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGenerateExperimentsScript:
+    def test_script_writes_report(self, tmp_path):
+        output = tmp_path / "EXPERIMENTS.md"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "generate_experiments_md.py"),
+                "--quick", "--seeds", "1", "--output", str(output),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        text = output.read_text(encoding="utf-8")
+        for experiment_id in (f"E{k}" for k in range(1, 11)):
+            assert f"## {experiment_id} — " in text
+        assert "Paper claim" in text
+        assert "Measured" in text
+
+
+class TestDocumentationFiles:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / name).exists(), f"{name} is missing"
+
+    def test_design_lists_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for experiment_id in (f"E{k}" for k in range(1, 11)):
+            assert re.search(rf"\b{experiment_id}\b", design), (
+                f"DESIGN.md does not mention experiment {experiment_id}"
+            )
+
+    def test_experiments_md_contains_measured_tables(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert "Table 1" in experiments
+        assert "Figure 2" in experiments
+        assert "```text" in experiments
+
+    def test_readme_mentions_examples_that_exist(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            assert example.name in readme, (
+                f"README.md does not mention examples/{example.name}"
+            )
+
+    def test_every_example_is_runnable_python(self):
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            source = example.read_text(encoding="utf-8")
+            compile(source, str(example), "exec")
+            assert '__main__' in source

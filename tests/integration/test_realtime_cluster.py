@@ -1,0 +1,148 @@
+"""Integration tests for the real-time (asyncio) harness.
+
+These are smoke tests by nature (they use wall-clock time), so the
+configurations are chosen to be extremely robust: short delays, generous
+durations relative to the tick period, and loss rates that retransmission
+covers with overwhelming probability.
+"""
+
+import random
+
+import pytest
+
+from repro.core.algorithm1 import MajorityUrbProcess
+from repro.core.algorithm2 import QuiescentUrbProcess
+from repro.failure_detectors.atheta import AThetaOracle
+from repro.failure_detectors.apstar import APStarOracle
+from repro.failure_detectors.oracle import GroundTruthOracle
+from repro.realtime import RealTimeBroadcast, RealTimeCluster
+from repro.simulation.faults import CrashSchedule
+
+N = 4
+
+
+def make_detectors(n=N, crashes=None, seed=0):
+    schedule = CrashSchedule.crash_at(n, crashes or {})
+    ground = GroundTruthOracle(schedule, rng=random.Random(seed))
+    return (AThetaOracle(ground), APStarOracle(ground))
+
+
+class TestRealTimeAlgorithm1:
+    def test_single_broadcast_reaches_everyone(self):
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            loss_probability=0.0, tick_interval=0.02, seed=1,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="rt-m0")],
+            duration=0.6,
+        )
+        assert report.delivered_everywhere(["rt-m0"], range(N))
+        assert report.total_sends > 0
+
+    def test_lossy_channels_recovered_by_retransmission(self):
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            loss_probability=0.2, tick_interval=0.02, seed=2,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=1, content="rt-m1")],
+            duration=1.0,
+        )
+        assert report.delivered_everywhere(["rt-m1"], range(N))
+        assert report.drops > 0
+
+    def test_keeps_sending_for_the_whole_run(self):
+        # Algorithm 1 is non-quiescent: sends happen close to the end of the
+        # run as well.
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            tick_interval=0.02, seed=3,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="m")], duration=0.6
+        )
+        assert report.last_send_elapsed > 0.4
+
+
+class TestRealTimeAlgorithm2:
+    def test_delivery_and_quiescence(self):
+        atheta, apstar = make_detectors()
+        cluster = RealTimeCluster(
+            N, lambda i, env: QuiescentUrbProcess(env),
+            loss_probability=0.1, tick_interval=0.02, seed=4,
+            atheta=atheta, apstar=apstar,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="rt-m2")],
+            duration=1.0,
+        )
+        assert report.delivered_everywhere(["rt-m2"], range(N))
+        # Quiescence: the protocol fell silent well before the end of the run
+        # (every process retired the message after full acknowledgement).
+        assert report.last_send_elapsed < 0.8
+        for process in cluster.processes.values():
+            assert process.pending_retransmissions == 0
+
+    def test_crashed_process_does_not_block_the_others(self):
+        crashes = {N - 1: 0.1}
+        atheta, apstar = make_detectors(crashes={N - 1: 0.1})
+        cluster = RealTimeCluster(
+            N, lambda i, env: QuiescentUrbProcess(env),
+            tick_interval=0.02, seed=5,
+            atheta=atheta, apstar=apstar, crash_after=crashes,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="rt-m3")],
+            duration=1.0,
+        )
+        correct = [index for index in range(N) if index not in crashes]
+        assert report.delivered_everywhere(["rt-m3"], correct)
+
+    def test_multi_message_workload(self):
+        atheta, apstar = make_detectors()
+        cluster = RealTimeCluster(
+            N, lambda i, env: QuiescentUrbProcess(env),
+            tick_interval=0.02, seed=6, atheta=atheta, apstar=apstar,
+        )
+        workload = [
+            RealTimeBroadcast(delay=0.0, sender=0, content="a"),
+            RealTimeBroadcast(delay=0.05, sender=1, content="b"),
+            RealTimeBroadcast(delay=0.1, sender=2, content="c"),
+        ]
+        report = cluster.run_sync(workload, duration=1.0)
+        assert report.delivered_everywhere(["a", "b", "c"], range(N))
+        # At-most-once delivery per process.
+        for deliveries in report.deliveries.values():
+            assert len(deliveries) == len(set(deliveries))
+
+
+class TestRealTimeValidation:
+    def test_parameter_validation(self):
+        factory = lambda i, env: MajorityUrbProcess(env, 3)  # noqa: E731
+        with pytest.raises(ValueError):
+            RealTimeCluster(0, factory)
+        with pytest.raises(ValueError):
+            RealTimeCluster(3, factory, loss_probability=1.0)
+        with pytest.raises(ValueError):
+            RealTimeCluster(3, factory, delay_range=(0.0, 0.1))
+        with pytest.raises(ValueError):
+            RealTimeCluster(3, factory, tick_interval=0.0)
+
+    def test_workload_validation(self):
+        cluster = RealTimeCluster(3, lambda i, env: MajorityUrbProcess(env, 3))
+        with pytest.raises(ValueError):
+            cluster.run_sync([RealTimeBroadcast(delay=0.0, sender=9, content="x")],
+                             duration=0.1)
+        with pytest.raises(ValueError):
+            cluster.run_sync([], duration=0.0)
+        with pytest.raises(ValueError):
+            RealTimeBroadcast(delay=-1.0, sender=0, content="x")
+
+    def test_report_describe(self):
+        cluster = RealTimeCluster(2, lambda i, env: MajorityUrbProcess(env, 2),
+                                  tick_interval=0.02)
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="m")], duration=0.3
+        )
+        assert "realtime-run" in report.describe()

@@ -1,0 +1,188 @@
+"""Property-based tests of the failure detectors' formal properties.
+
+For randomly drawn failure patterns and observation times, the default
+(prescient, ``CORRECT_ONLY``) oracles must satisfy the paper's definitions:
+
+* AΘ-completeness / AP*-completeness — eventually the view of every correct
+  process contains a pair for every correct process with
+  ``number = |S(label) ∩ Correct|``;
+* AΘ-accuracy — at every time, every output pair ``(label, number)`` is such
+  that every ``number``-sized subset of the knower set ``S(label)`` contains
+  at least one correct process;
+* AP*-accuracy — crashed processes' pairs are eventually permanently removed.
+
+The detection-based (``ALL_PROCESSES``) oracle must satisfy accuracy whenever
+a majority of processes is correct (the regime it is sound for).
+"""
+
+import itertools
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.failure_detectors.apstar import APStarOracle
+from repro.failure_detectors.atheta import AThetaOracle
+from repro.failure_detectors.oracle import GroundTruthOracle
+from repro.failure_detectors.policies import DisseminationPolicy
+from repro.simulation.faults import CrashSchedule
+
+
+@st.composite
+def failure_patterns(draw, min_n=2, max_n=6, allow_minority_correct=True):
+    n = draw(st.integers(min_n, max_n))
+    max_crashes = n - 1 if allow_minority_correct else (n - 1) // 2
+    n_crashes = draw(st.integers(0, max_crashes))
+    victims = draw(
+        st.lists(st.integers(0, n - 1), min_size=n_crashes, max_size=n_crashes,
+                 unique=True)
+    )
+    times = draw(
+        st.lists(st.floats(0.0, 30.0, allow_nan=False), min_size=n_crashes,
+                 max_size=n_crashes)
+    )
+    return n, dict(zip(victims, times))
+
+
+def build(n, crashes, policy, seed, detection_delay=2.0, learn_delay=0.0):
+    schedule = CrashSchedule.crash_at(n, crashes)
+    ground = GroundTruthOracle(schedule, rng=random.Random(seed))
+    atheta = AThetaOracle(ground, policy=policy, detection_delay=detection_delay,
+                          learn_delay=learn_delay, rng=random.Random(seed + 1))
+    apstar = APStarOracle(ground, policy=policy, detection_delay=detection_delay,
+                          learn_delay=learn_delay, rng=random.Random(seed + 2))
+    return ground, atheta, apstar
+
+
+def converged_time(crashes, detection_delay, learn_delay):
+    return max([0.0] + [t for t in crashes.values()]) + detection_delay + learn_delay + 1.0
+
+
+class TestPrescientOracleProperties:
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000),
+           learn_delay=st.floats(0.0, 5.0, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_completeness(self, pattern, seed, learn_delay):
+        n, crashes = pattern
+        ground, atheta, apstar = build(
+            n, crashes, DisseminationPolicy.CORRECT_ONLY, seed,
+            learn_delay=learn_delay,
+        )
+        horizon = converged_time(crashes, 2.0, learn_delay)
+        expected_labels = ground.labels_of_correct()
+        for viewer in ground.correct_indices():
+            for oracle in (atheta, apstar):
+                view = oracle.view(viewer, horizon)
+                assert view.labels() == expected_labels
+                for pair in view:
+                    knowers = oracle.knower_set(pair.label, horizon)
+                    assert pair.number == len(knowers & set(ground.correct_indices()))
+
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000),
+           probe=st.floats(0.0, 60.0, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_accuracy_at_every_time(self, pattern, seed, probe):
+        n, crashes = pattern
+        ground, atheta, _ = build(n, crashes, DisseminationPolicy.CORRECT_ONLY, seed)
+        correct = set(ground.correct_indices())
+        for viewer in range(n):
+            view = atheta.view(viewer, probe)
+            for pair in view:
+                knowers = atheta.knower_set(pair.label, horizon=max(probe, 60.0))
+                # Every `number`-sized subset of the knowers must contain a
+                # correct process; equivalently the number of faulty knowers
+                # must be strictly smaller than `number`.
+                faulty_knowers = len(knowers - correct)
+                assert faulty_knowers < pair.number
+
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_apstar_accuracy_removes_crashed(self, pattern, seed):
+        n, crashes = pattern
+        ground, _, apstar = build(n, crashes, DisseminationPolicy.CORRECT_ONLY, seed)
+        horizon = converged_time(crashes, 2.0, 0.0)
+        for viewer in ground.correct_indices():
+            view = apstar.view(viewer, horizon)
+            for faulty in ground.faulty_indices():
+                assert ground.label_of(faulty) not in view
+
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_eventual_pair_count_equals_correct_count(self, pattern, seed):
+        n, crashes = pattern
+        ground, _, apstar = build(n, crashes, DisseminationPolicy.CORRECT_ONLY, seed)
+        horizon = converged_time(crashes, 2.0, 0.0)
+        viewer = ground.correct_indices()[0]
+        assert len(apstar.view(viewer, horizon)) == ground.n_correct
+
+
+class TestDetectionOracleProperties:
+    @given(pattern=failure_patterns(allow_minority_correct=False),
+           seed=st.integers(0, 1000),
+           probe=st.floats(0.0, 60.0, allow_nan=False),
+           detection_delay=st.floats(0.0, 10.0, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_accuracy_holds_with_correct_majority(self, pattern, seed, probe,
+                                                  detection_delay):
+        n, crashes = pattern
+        assume(len(crashes) < n / 2)
+        ground, atheta, _ = build(
+            n, crashes, DisseminationPolicy.ALL_PROCESSES, seed,
+            detection_delay=detection_delay,
+        )
+        correct = set(ground.correct_indices())
+        for viewer in range(n):
+            for pair in atheta.view(viewer, probe):
+                knowers = atheta.knower_set(pair.label, horizon=max(probe, 80.0))
+                faulty_knowers = len(knowers - correct)
+                assert faulty_knowers < pair.number
+
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000),
+           detection_delay=st.floats(0.0, 5.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_completeness_with_any_pattern(self, pattern, seed, detection_delay):
+        n, crashes = pattern
+        ground, atheta, apstar = build(
+            n, crashes, DisseminationPolicy.ALL_PROCESSES, seed,
+            detection_delay=detection_delay,
+        )
+        horizon = converged_time(crashes, detection_delay, 0.0)
+        for viewer in ground.correct_indices():
+            for oracle in (atheta, apstar):
+                view = oracle.view(viewer, horizon)
+                assert view.labels() == ground.labels_of_correct()
+                assert all(pair.number == ground.n_correct for pair in view)
+
+    @given(pattern=failure_patterns(), seed=st.integers(0, 1000),
+           probes=st.lists(st.floats(0.0, 80.0, allow_nan=False), min_size=2,
+                           max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_numbers_are_non_increasing_over_time(self, pattern, seed, probes):
+        """The detection-based number (n minus detected crashes) never grows."""
+        n, crashes = pattern
+        _, atheta, _ = build(n, crashes, DisseminationPolicy.ALL_PROCESSES, seed)
+        viewer = 0
+        probes = sorted(probes)
+        numbers = []
+        for probe in probes:
+            view = atheta.view(viewer, probe)
+            if view:
+                numbers.append(max(pair.number for pair in view))
+        assert all(a >= b for a, b in zip(numbers, numbers[1:]))
+
+
+class TestAccuracySubsetSemantics:
+    @given(pattern=failure_patterns(min_n=2, max_n=5), seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_exhaustive_subset_check_small_systems(self, pattern, seed):
+        """For small systems, check the accuracy property literally: every
+        subset of S(label) of size `number` intersects Correct."""
+        n, crashes = pattern
+        ground, atheta, _ = build(n, crashes, DisseminationPolicy.CORRECT_ONLY, seed)
+        correct = set(ground.correct_indices())
+        horizon = converged_time(crashes, 2.0, 0.0)
+        viewer = ground.correct_indices()[0]
+        for pair in atheta.view(viewer, horizon):
+            knowers = atheta.knower_set(pair.label, horizon)
+            for subset in itertools.combinations(knowers, min(pair.number, len(knowers))):
+                if len(subset) == pair.number:
+                    assert set(subset) & correct

@@ -1,0 +1,146 @@
+"""Property-based end-to-end tests: the URB properties hold on full simulated
+runs across randomly drawn configurations.
+
+Safety (Uniform Agreement, Uniform Integrity) must hold on *every* run of
+both algorithms regardless of the horizon.  Liveness (Validity, full
+delivery) is checked only for configurations where the algorithm's
+assumptions hold and the horizon is generous.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.config import Scenario
+from repro.experiments.runner import run_scenario
+from repro.network.loss import LossSpec
+from repro.workloads.generators import SingleBroadcast, UniformStream
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def algorithm1_scenarios(draw):
+    n = draw(st.integers(3, 7))
+    max_crashes = (n - 1) // 2  # keep the correct-majority assumption
+    n_crashes = draw(st.integers(0, max_crashes))
+    crash_times = draw(
+        st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=n_crashes,
+                 max_size=n_crashes)
+    )
+    crashes = {n - 1 - i: t for i, t in enumerate(crash_times)}
+    loss = draw(st.floats(0.0, 0.5, allow_nan=False))
+    seed = draw(st.integers(0, 10_000))
+    return Scenario(
+        name="prop-a1",
+        algorithm="algorithm1",
+        n_processes=n,
+        crashes=crashes,
+        loss=LossSpec.bernoulli(loss) if loss > 0 else LossSpec.none(),
+        workload=SingleBroadcast(sender=0, time=0.0),
+        max_time=120.0,
+        stop_when_all_correct_delivered=True,
+        drain_grace_period=1.0,
+        seed=seed,
+    )
+
+
+@st.composite
+def algorithm2_scenarios(draw):
+    n = draw(st.integers(3, 6))
+    n_crashes = draw(st.integers(0, n - 1))  # any number of crashes
+    crash_times = draw(
+        st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=n_crashes,
+                 max_size=n_crashes)
+    )
+    crashes = {n - 1 - i: t for i, t in enumerate(crash_times)}
+    loss = draw(st.floats(0.0, 0.5, allow_nan=False))
+    seed = draw(st.integers(0, 10_000))
+    learn_delay = draw(st.floats(0.0, 3.0, allow_nan=False))
+    return Scenario(
+        name="prop-a2",
+        algorithm="algorithm2",
+        n_processes=n,
+        crashes=crashes,
+        loss=LossSpec.bernoulli(loss) if loss > 0 else LossSpec.none(),
+        workload=SingleBroadcast(sender=0, time=0.0),
+        max_time=150.0,
+        stop_when_quiescent=True,
+        drain_grace_period=3.0,
+        fd_learn_delay=learn_delay,
+        seed=seed,
+    )
+
+
+class TestAlgorithm1Properties:
+    @given(scenario=algorithm1_scenarios())
+    @settings(**COMMON_SETTINGS)
+    def test_urb_properties_hold_with_correct_majority(self, scenario):
+        result = run_scenario(scenario)
+        verdict = result.verdict
+        assert verdict.uniform_integrity.holds, verdict.violations()
+        assert verdict.uniform_agreement.holds, verdict.violations()
+        # With a correct majority and a generous horizon, validity holds too.
+        assert verdict.validity.holds, verdict.violations()
+
+    @given(scenario=algorithm1_scenarios())
+    @settings(**COMMON_SETTINGS)
+    def test_every_correct_process_delivers(self, scenario):
+        result = run_scenario(scenario)
+        for index in result.simulation.correct_indices():
+            assert result.simulation.deliveries_of(index) == ["m0"]
+
+    @given(scenario=algorithm1_scenarios())
+    @settings(**COMMON_SETTINGS)
+    def test_anonymity_audit_always_passes(self, scenario):
+        result = run_scenario(scenario)
+        assert result.anonymity.passed
+
+
+class TestAlgorithm2Properties:
+    @given(scenario=algorithm2_scenarios())
+    @settings(**COMMON_SETTINGS)
+    def test_urb_properties_hold_with_any_crash_count(self, scenario):
+        result = run_scenario(scenario)
+        verdict = result.verdict
+        assert verdict.uniform_integrity.holds, verdict.violations()
+        assert verdict.uniform_agreement.holds, verdict.violations()
+        assert verdict.validity.holds, verdict.violations()
+
+    @given(scenario=algorithm2_scenarios())
+    @settings(**COMMON_SETTINGS)
+    def test_every_correct_process_delivers_and_quiesces(self, scenario):
+        result = run_scenario(scenario)
+        for index in result.simulation.correct_indices():
+            assert "m0" in result.simulation.deliveries_of(index)
+        assert result.quiescence.quiescent
+
+    @given(scenario=algorithm2_scenarios(),
+           n_messages=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_multi_message_workloads(self, scenario, n_messages):
+        scenario = scenario.with_(
+            workload=UniformStream(n_messages, senders=(0,), interval=2.0),
+            max_time=200.0,
+        )
+        result = run_scenario(scenario)
+        assert result.verdict.uniform_agreement.holds
+        assert result.verdict.uniform_integrity.holds
+        expected = {f"m{k}" for k in range(n_messages)}
+        for index in result.simulation.correct_indices():
+            assert expected <= set(result.simulation.deliveries_of(index))
+
+
+class TestDeterminismProperty:
+    @given(scenario=algorithm2_scenarios())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_runs_are_reproducible(self, scenario):
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.metrics.total_sends == b.metrics.total_sends
+        assert a.metrics.deliveries == b.metrics.deliveries
+        assert a.quiescence.last_send_time == b.quiescence.last_send_time

@@ -1,0 +1,136 @@
+"""Unit tests for the baseline broadcast protocols."""
+
+import pytest
+
+from helpers import FakeEnvironment
+from repro.core.baselines import (
+    BestEffortBroadcastProcess,
+    EagerReliableBroadcastProcess,
+    IdentifiedMajorityUrbProcess,
+)
+from repro.core.messages import AckPayload, MsgPayload, TaggedMessage
+
+
+class TestBestEffort:
+    def test_broadcast_sends_once_and_never_retransmits(self):
+        env = FakeEnvironment()
+        process = BestEffortBroadcastProcess(env)
+        process.urb_broadcast("m")
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+        process.on_tick()
+        process.on_tick()
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+        assert process.pending_retransmissions == 0
+
+    def test_delivers_on_first_reception_only(self):
+        env = FakeEnvironment()
+        process = BestEffortBroadcastProcess(env)
+        message = TaggedMessage("m", 1)
+        process.on_receive(MsgPayload(message))
+        process.on_receive(MsgPayload(message))
+        assert len(env.deliveries) == 1
+
+    def test_ignores_acks(self):
+        env = FakeEnvironment()
+        process = BestEffortBroadcastProcess(env)
+        process.on_receive(AckPayload(TaggedMessage("m", 1), 5))
+        assert env.deliveries == []
+        assert env.broadcasts == []
+
+    def test_sender_does_not_deliver_locally_without_loopback(self):
+        # Delivery only happens on reception (the loopback copy provides it
+        # in a full run); the unit-level process does not self-deliver.
+        env = FakeEnvironment()
+        process = BestEffortBroadcastProcess(env)
+        process.urb_broadcast("m")
+        assert env.deliveries == []
+
+    def test_describe(self):
+        assert "best-effort" in BestEffortBroadcastProcess(FakeEnvironment()).describe()
+
+
+class TestEagerReliableBroadcast:
+    def test_delivers_then_relays_once(self):
+        env = FakeEnvironment()
+        process = EagerReliableBroadcastProcess(env)
+        message = TaggedMessage("m", 1)
+        process.on_receive(MsgPayload(message))
+        assert len(env.deliveries) == 1
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+        # Second reception: neither a second delivery nor a second relay.
+        process.on_receive(MsgPayload(message))
+        assert len(env.deliveries) == 1
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+
+    def test_own_broadcast_not_relayed_again(self):
+        env = FakeEnvironment()
+        process = EagerReliableBroadcastProcess(env)
+        process.urb_broadcast("m")
+        own = env.broadcasts_of_kind("MSG")[0]
+        process.on_receive(own)
+        # Delivered its own message but did not re-relay it.
+        assert len(env.deliveries) == 1
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+
+    def test_no_retransmission_task(self):
+        env = FakeEnvironment()
+        process = EagerReliableBroadcastProcess(env)
+        process.urb_broadcast("m")
+        process.on_tick()
+        assert len(env.broadcasts_of_kind("MSG")) == 1
+        assert process.pending_retransmissions == 0
+
+    def test_ignores_acks(self):
+        env = FakeEnvironment()
+        process = EagerReliableBroadcastProcess(env)
+        process.on_receive(AckPayload(TaggedMessage("m", 1), 5))
+        assert env.deliveries == []
+
+
+class TestIdentifiedMajorityUrb:
+    def test_ack_carries_identity(self):
+        env = FakeEnvironment()
+        process = IdentifiedMajorityUrbProcess(env, n_processes=5, identity=3)
+        process.on_receive(MsgPayload(TaggedMessage("m", 1)))
+        ack = env.broadcasts_of_kind("ACK")[0]
+        assert ack.ack_tag == 3
+
+    def test_delivery_on_majority_of_identities(self):
+        env = FakeEnvironment()
+        process = IdentifiedMajorityUrbProcess(env, n_processes=5, identity=0)
+        message = TaggedMessage("m", 1)
+        process.on_receive(AckPayload(message, 1))
+        process.on_receive(AckPayload(message, 2))
+        assert env.deliveries == []
+        process.on_receive(AckPayload(message, 3))
+        assert len(env.deliveries) == 1
+
+    def test_duplicate_identities_do_not_count_twice(self):
+        env = FakeEnvironment()
+        process = IdentifiedMajorityUrbProcess(env, n_processes=5, identity=0)
+        message = TaggedMessage("m", 1)
+        for _ in range(10):
+            process.on_receive(AckPayload(message, 1))
+        assert env.deliveries == []
+
+    def test_retransmits_like_algorithm1(self):
+        env = FakeEnvironment()
+        process = IdentifiedMajorityUrbProcess(
+            env, n_processes=3, identity=0, eager_first_broadcast=False
+        )
+        process.urb_broadcast("m")
+        process.on_tick()
+        process.on_tick()
+        assert len(env.broadcasts_of_kind("MSG")) == 2
+        assert process.pending_retransmissions == 1
+
+    def test_rejects_bad_identity(self):
+        with pytest.raises(ValueError):
+            IdentifiedMajorityUrbProcess(FakeEnvironment(), n_processes=3, identity=5)
+        with pytest.raises(ValueError):
+            IdentifiedMajorityUrbProcess(FakeEnvironment(), n_processes=0, identity=0)
+
+    def test_describe_mentions_identity(self):
+        process = IdentifiedMajorityUrbProcess(FakeEnvironment(), n_processes=3,
+                                               identity=2)
+        assert "id=2" in process.describe()

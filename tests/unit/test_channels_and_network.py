@@ -1,0 +1,201 @@
+"""Unit tests for channels (fair lossy, reliable, quasi-reliable) and the
+anonymous network."""
+
+import random
+
+import pytest
+
+from repro.network.channel import LossyChannel
+from repro.network.delay import DelaySpec, FixedDelay
+from repro.network.fair_lossy import (
+    DEFAULT_FAIRNESS_BOUND,
+    FairLossyChannel,
+    FairLossyChannelFactory,
+)
+from repro.network.loss import BernoulliLoss, DropFirstK, LossSpec, NoLoss
+from repro.network.network import Network
+from repro.network.reliable import (
+    QuasiReliableChannel,
+    QuasiReliableChannelFactory,
+    ReliableChannel,
+    ReliableChannelFactory,
+)
+from repro.simulation.rng import RandomSource
+from repro.simulation.simtime import NEVER
+
+
+class TestLossyChannel:
+    def test_delivery_time_includes_delay(self):
+        channel = LossyChannel(0, 1, NoLoss(), FixedDelay(0.5))
+        assert channel.transmit("m", 10.0) == 10.5
+
+    def test_drop_returns_none(self):
+        channel = LossyChannel(0, 1, DropFirstK(1), FixedDelay(0.5))
+        assert channel.transmit("m", 0.0) is None
+        assert channel.transmit("m", 1.0) == 1.5
+
+    def test_stats_track_attempts_and_drops(self):
+        channel = LossyChannel(0, 1, DropFirstK(2), FixedDelay(0.5))
+        for t in range(4):
+            channel.transmit("m", float(t))
+        assert channel.stats.attempts == 4
+        assert channel.stats.dropped == 2
+        assert channel.stats.delivered == 2
+        assert channel.stats.drop_rate == pytest.approx(0.5)
+
+    def test_fairness_guard_forces_delivery(self):
+        # The loss model wants to drop everything; the guard caps consecutive
+        # drops at 3, so the 4th copy must get through.
+        channel = LossyChannel(0, 1, BernoulliLoss(1.0, random.Random(0)),
+                               FixedDelay(0.1), fairness_bound=3)
+        outcomes = [channel.transmit("m", float(t)) for t in range(5)]
+        assert outcomes[:3] == [None, None, None]
+        assert outcomes[3] is not None
+        assert channel.stats.forced_deliveries == 1
+
+    def test_fairness_guard_resets_after_delivery(self):
+        channel = LossyChannel(0, 1, BernoulliLoss(1.0, random.Random(0)),
+                               FixedDelay(0.1), fairness_bound=2)
+        results = [channel.transmit("m", float(t)) for t in range(7)]
+        delivered = [r is not None for r in results]
+        # pattern: drop, drop, forced, drop, drop, forced, ...
+        assert delivered == [False, False, True, False, False, True, False]
+
+    def test_fairness_guard_is_per_key(self):
+        channel = LossyChannel(0, 1, BernoulliLoss(1.0, random.Random(0)),
+                               FixedDelay(0.1), fairness_bound=1)
+        assert channel.transmit("a", 0.0) is None
+        assert channel.transmit("b", 0.0) is None
+        assert channel.consecutive_drops("a") == 1
+        assert channel.consecutive_drops("b") == 1
+
+    def test_rejects_invalid_fairness_bound(self):
+        with pytest.raises(ValueError):
+            LossyChannel(0, 1, NoLoss(), FixedDelay(0.1), fairness_bound=0)
+
+    def test_rejects_negative_endpoints(self):
+        with pytest.raises(ValueError):
+            LossyChannel(-1, 0, NoLoss(), FixedDelay(0.1))
+
+    def test_describe(self):
+        channel = LossyChannel(0, 1, NoLoss(), FixedDelay(0.1), fairness_bound=5)
+        assert "0->1" in channel.describe()
+
+
+class TestFairLossyFactory:
+    def test_default_fairness_bound(self):
+        factory = FairLossyChannelFactory(loss_spec=LossSpec.bernoulli(0.5))
+        channel = factory.build(0, 1, random.Random(0), random.Random(1))
+        assert isinstance(channel, FairLossyChannel)
+        assert channel.fairness_bound == DEFAULT_FAIRNESS_BOUND
+
+    def test_guard_can_be_disabled(self):
+        factory = FairLossyChannelFactory(fairness_bound=None)
+        channel = factory.build(0, 1, random.Random(0), random.Random(1))
+        assert channel.fairness_bound is None
+
+    def test_describe(self):
+        assert "fair-lossy" in FairLossyChannelFactory().describe()
+
+
+class TestReliableChannels:
+    def test_reliable_always_delivers(self):
+        channel = ReliableChannel(0, 1, FixedDelay(1.0))
+        assert all(channel.transmit("m", float(t)) is not None for t in range(10))
+
+    def test_reliable_factory(self):
+        channel = ReliableChannelFactory(DelaySpec.fixed(1.0)).build(
+            0, 1, random.Random(0), random.Random(1)
+        )
+        assert isinstance(channel, ReliableChannel)
+
+    def test_quasi_reliable_drops_after_sender_crash(self):
+        # Sender 0 crashes at t=5; a copy sent at t=4.5 with delay 1.0 would
+        # arrive at 5.5 >= 5.0, so it is lost with the sender.
+        channel = QuasiReliableChannel(
+            0, 1, FixedDelay(1.0), sender_crash_time=lambda src: 5.0
+        )
+        assert channel.transmit("m", 3.0) == 4.0
+        assert channel.transmit("m", 4.5) is None
+
+    def test_quasi_reliable_correct_sender_never_drops(self):
+        channel = QuasiReliableChannel(
+            0, 1, FixedDelay(1.0), sender_crash_time=lambda src: NEVER
+        )
+        assert all(channel.transmit("m", float(t)) is not None for t in range(5))
+
+    def test_quasi_reliable_factory(self):
+        factory = QuasiReliableChannelFactory(sender_crash_time=lambda src: NEVER)
+        channel = factory.build(0, 1, random.Random(0), random.Random(1))
+        assert isinstance(channel, QuasiReliableChannel)
+
+
+class TestNetwork:
+    def _network(self, n=3, loss=None, loopback=True):
+        factory = FairLossyChannelFactory(
+            loss_spec=loss or LossSpec.none(), delay_spec=DelaySpec.fixed(1.0)
+        )
+        return Network(n, factory, RandomSource(0), loopback_delivers=loopback)
+
+    def test_broadcast_reaches_every_process_including_self(self):
+        network = self._network(4)
+        outcomes = network.broadcast(1, "payload", 0.0)
+        assert sorted(o.dst for o in outcomes) == [0, 1, 2, 3]
+        assert all(o.delivered for o in outcomes)
+
+    def test_broadcast_without_loopback(self):
+        network = self._network(3, loopback=False)
+        outcomes = network.broadcast(0, "payload", 0.0)
+        assert sorted(o.dst for o in outcomes) == [1, 2]
+
+    def test_envelope_records_src_and_times(self):
+        network = self._network(2)
+        outcome = network.broadcast(0, "p", 3.0)[1]
+        assert outcome.envelope.src == 0
+        assert outcome.envelope.send_time == 3.0
+        assert outcome.envelope.deliver_time == 4.0
+        assert outcome.envelope.in_flight_duration == pytest.approx(1.0)
+
+    def test_unicast(self):
+        network = self._network(3)
+        outcome = network.unicast(0, 2, "p", 1.0)
+        assert outcome.dst == 2
+        assert outcome.delivered
+
+    def test_channels_are_cached(self):
+        network = self._network(2)
+        assert network.channel(0, 1) is network.channel(0, 1)
+
+    def test_channels_are_per_direction(self):
+        network = self._network(2)
+        assert network.channel(0, 1) is not network.channel(1, 0)
+
+    def test_drop_statistics(self):
+        network = self._network(2, loss=LossSpec.bernoulli(1.0))
+        # fairness guard eventually forces delivery, so use few attempts
+        network.broadcast(0, "p", 0.0)
+        assert network.total_attempts() == 2
+        assert network.total_drops() == 2
+        assert network.observed_drop_rate() == pytest.approx(1.0)
+
+    def test_index_validation(self):
+        network = self._network(2)
+        with pytest.raises(IndexError):
+            network.broadcast(5, "p", 0.0)
+        with pytest.raises(IndexError):
+            network.channel(0, 9)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            Network(0, FairLossyChannelFactory())
+
+    def test_describe(self):
+        assert "complete-graph" in self._network(3).describe()
+
+    def test_dropped_envelope_flags(self):
+        network = self._network(2, loss=LossSpec.bernoulli(1.0))
+        outcome = network.broadcast(0, "p", 0.0)[0]
+        assert not outcome.delivered
+        assert outcome.deliver_time is None
+        assert outcome.envelope.dropped
+        assert "dropped" in outcome.envelope.describe()

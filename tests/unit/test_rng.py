@@ -1,0 +1,91 @@
+"""Unit tests for the named random substreams."""
+
+import pytest
+
+from repro.simulation.rng import RandomSource, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "alpha") == derive_seed(42, "alpha")
+
+    def test_varies_with_name(self):
+        assert derive_seed(42, "alpha") != derive_seed(42, "beta")
+
+    def test_varies_with_master_seed(self):
+        assert derive_seed(1, "alpha") != derive_seed(2, "alpha")
+
+    def test_rejects_non_int_master(self):
+        with pytest.raises(TypeError):
+            derive_seed("42", "alpha")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(7, "x") < 2 ** 64
+
+
+class TestRandomSource:
+    def test_same_master_seed_same_streams(self):
+        a = RandomSource(5).stream("tags")
+        b = RandomSource(5).stream("tags")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        source = RandomSource(5)
+        a = [source.fresh_stream("a").random() for _ in range(3)]
+        b = [source.fresh_stream("b").random() for _ in range(3)]
+        assert a != b
+
+    def test_stream_is_cached(self):
+        source = RandomSource(0)
+        assert source.stream("x") is source.stream("x")
+
+    def test_fresh_stream_not_cached(self):
+        source = RandomSource(0)
+        assert source.fresh_stream("x") is not source.fresh_stream("x")
+
+    def test_fresh_stream_replays_from_start(self):
+        source = RandomSource(0)
+        first = source.stream("x").random()
+        replay = source.fresh_stream("x").random()
+        assert first == replay
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).stream("")
+
+    def test_numpy_stream(self):
+        source = RandomSource(3)
+        values = source.numpy_stream("np").random(4)
+        again = RandomSource(3).numpy_stream("np").random(4)
+        assert list(values) == list(again)
+
+    def test_numpy_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).numpy_stream("")
+
+    def test_spawn_derives_new_master(self):
+        parent = RandomSource(9)
+        child_a = parent.spawn("rep0")
+        child_b = parent.spawn("rep1")
+        assert child_a.master_seed != child_b.master_seed
+        assert child_a.master_seed != parent.master_seed
+
+    def test_spawn_deterministic(self):
+        assert RandomSource(9).spawn("x").master_seed == RandomSource(9).spawn("x").master_seed
+
+    def test_for_process_and_channel_names_disjoint(self):
+        source = RandomSource(1)
+        p = source.for_process(0)
+        c = source.for_channel(0, 1)
+        assert p is not c
+
+    def test_for_component_with_index(self):
+        source = RandomSource(1)
+        assert source.for_component("loss", 3) is source.stream("loss:3")
+
+    def test_rejects_bool_master_seed(self):
+        with pytest.raises(TypeError):
+            RandomSource(True)
+
+    def test_master_seed_property(self):
+        assert RandomSource(17).master_seed == 17

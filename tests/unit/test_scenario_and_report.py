@@ -1,0 +1,198 @@
+"""Unit tests for Scenario configuration, experiment reports and sweeps."""
+
+import pytest
+
+from repro.experiments.common import (
+    crash_last,
+    multi_sender_workload,
+    seeds_for,
+)
+from repro.experiments.config import ALGORITHMS, Scenario
+from repro.experiments.report import ExperimentArtifact, ExperimentResult
+from repro.experiments.sweeps import SweepPoint, sweep
+from repro.failure_detectors.policies import DisseminationPolicy
+from repro.network.loss import LossSpec
+from repro.workloads.generators import SingleBroadcast
+
+
+class TestScenario:
+    def test_defaults_are_valid(self):
+        scenario = Scenario()
+        assert scenario.algorithm in ALGORITHMS
+        assert scenario.n_processes >= 1
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(algorithm="paxos")
+
+    def test_unknown_channel_type_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(channel_type="carrier_pigeon")
+
+    def test_bad_process_count_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_processes=0)
+
+    def test_crash_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_processes=3, crashes={5: 1.0})
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_processes=3, crashes={0: -1.0})
+
+    def test_all_crashed_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n_processes=2, crashes={0: 1.0, 1: 1.0})
+
+    def test_policy_normalised_from_string(self):
+        scenario = Scenario(fd_policy="all_processes")
+        assert scenario.fd_policy is DisseminationPolicy.ALL_PROCESSES
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(fd_policy="psychic")
+
+    def test_n_crashes_and_majority(self):
+        scenario = Scenario(n_processes=5, crashes={3: 1.0, 4: 1.0})
+        assert scenario.n_crashes == 2
+        assert scenario.has_correct_majority
+        minority = Scenario(n_processes=4, crashes={1: 1.0, 2: 1.0, 3: 1.0})
+        assert not minority.has_correct_majority
+
+    def test_effective_apstar_delay_defaults_to_atheta(self):
+        assert Scenario(fd_detection_delay=7.0).effective_apstar_delay == 7.0
+        assert Scenario(fd_detection_delay=7.0,
+                        apstar_detection_delay=2.0).effective_apstar_delay == 2.0
+
+    def test_with_seed_and_with(self):
+        scenario = Scenario(seed=1)
+        assert scenario.with_seed(9).seed == 9
+        assert scenario.with_(n_processes=8).n_processes == 8
+        assert scenario.seed == 1  # original untouched
+
+    def test_describe(self):
+        text = Scenario(name="x", algorithm="algorithm1", n_processes=7).describe()
+        assert "x" in text and "algorithm1" in text and "n=7" in text
+
+    def test_invalid_tick_interval(self):
+        with pytest.raises(ValueError):
+            Scenario(tick_interval=0.0)
+
+    def test_invalid_max_time(self):
+        with pytest.raises(ValueError):
+            Scenario(max_time=0.0)
+
+
+class TestCommonHelpers:
+    def test_crash_last_keeps_low_indices(self):
+        crashes = crash_last(6, 2, time=3.0)
+        assert set(crashes) == {4, 5}
+        assert all(t == 3.0 for t in crashes.values())
+
+    def test_crash_last_zero(self):
+        assert crash_last(5, 0) == {}
+
+    def test_crash_last_rejects_all(self):
+        with pytest.raises(ValueError):
+            crash_last(3, 3)
+        with pytest.raises(ValueError):
+            crash_last(3, -1)
+
+    def test_seeds_for(self):
+        assert seeds_for(quick=False, seeds=None) >= 1
+        assert seeds_for(quick=True, seeds=None) == 1
+        assert seeds_for(quick=True, seeds=7) == 7
+        with pytest.raises(ValueError):
+            seeds_for(quick=False, seeds=0)
+
+    def test_multi_sender_workload(self):
+        workload = multi_sender_workload(n_messages=3, senders=(0, 1))
+        assert len(workload) == 3
+        assert workload.senders() == {0, 1}
+
+
+class TestExperimentReport:
+    def test_artifact_render_and_column(self):
+        artifact = ExperimentArtifact(
+            name="Table X", kind="table", headers=["a", "b"],
+            rows=[[1, 2], [3, 4]], notes="note",
+        )
+        text = artifact.render()
+        assert "Table X" in text and "note" in text
+        assert artifact.column("b") == [2, 4]
+
+    def test_artifact_unknown_column(self):
+        artifact = ExperimentArtifact("t", "table", ["a"], [[1]])
+        with pytest.raises(KeyError):
+            artifact.column("z")
+
+    def test_artifact_bad_kind(self):
+        with pytest.raises(ValueError):
+            ExperimentArtifact("t", "plot", ["a"], [[1]])
+
+    def test_result_render_and_lookup(self):
+        artifact = ExperimentArtifact("Table X", "table", ["a"], [[1]])
+        result = ExperimentResult(
+            experiment_id="E99", title="Demo", artifacts=[artifact],
+            parameters={"seeds": 3}, notes="hello",
+        )
+        text = result.render()
+        assert "E99 — Demo" in text
+        assert "seeds=3" in text
+        assert "hello" in text
+        assert result.artifact("Table X") is artifact
+        with pytest.raises(KeyError):
+            result.artifact("missing")
+
+    def test_summary_row(self):
+        result = ExperimentResult("E1", "t", [])
+        assert result.summary_row() == ["E1", "t", 0]
+
+
+class TestSweeps:
+    @pytest.fixture
+    def base(self):
+        return Scenario(
+            algorithm="algorithm1", n_processes=3, max_time=40.0,
+            stop_when_all_correct_delivered=True,
+            workload=SingleBroadcast(), loss=LossSpec.none(),
+        )
+
+    def test_sweep_replaces_field(self, base):
+        points = sweep(base, "n_processes", [3, 4], seeds=1)
+        assert [p.value for p in points] == [3, 4]
+        assert points[1].scenario.n_processes == 4
+        assert all(len(p.results) == 1 for p in points)
+
+    def test_sweep_with_builder(self, base):
+        points = sweep(
+            base, "loss", [0.0, 0.5], seeds=1,
+            scenario_builder=lambda s, p: s.with_(loss=LossSpec.bernoulli(p)),
+        )
+        assert points[1].scenario.loss.params["probability"] == 0.5
+
+    def test_point_metrics(self, base):
+        points = sweep(base, "n_processes", [3], seeds=2)
+        point = points[0]
+        latencies = point.metric(lambda r: r.metrics.mean_latency)
+        assert len(latencies) == 2
+        assert point.mean_metric(lambda r: r.metrics.mean_latency) == pytest.approx(
+            sum(latencies) / 2
+        )
+        assert point.fraction(lambda r: True) == 1.0
+        assert point.fraction(lambda r: False) == 0.0
+
+    def test_point_metric_drops_none(self, base):
+        point = SweepPoint(value=0, scenario=base, results=[])
+        assert point.metric(lambda r: None) == []
+        assert point.mean_metric(lambda r: None) is None
+        assert point.metric_ci(lambda r: None) is None
+        assert point.fraction(lambda r: True) == 0.0
+
+    def test_metric_ci(self, base):
+        points = sweep(base, "n_processes", [3], seeds=3)
+        ci = points[0].metric_ci(lambda r: r.metrics.mean_latency)
+        assert ci is not None
+        mean, low, high = ci
+        assert low <= mean <= high

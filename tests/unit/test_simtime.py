@@ -1,0 +1,155 @@
+"""Unit tests for repro.simulation.simtime."""
+
+import math
+
+import pytest
+
+from repro.simulation.simtime import (
+    NEVER,
+    TIME_ZERO,
+    TimeWindow,
+    earliest,
+    is_never,
+    latest,
+    validate_duration,
+    validate_time,
+)
+
+
+class TestValidateTime:
+    def test_accepts_zero(self):
+        assert validate_time(0.0) == 0.0
+
+    def test_accepts_positive_int(self):
+        assert validate_time(3) == 3.0
+
+    def test_returns_float(self):
+        assert isinstance(validate_time(2), float)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_time(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_time(float("nan"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validate_time(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            validate_time("3.0")
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValueError, match="deadline"):
+            validate_time(-1, name="deadline")
+
+    def test_accepts_infinity(self):
+        assert validate_time(math.inf) == math.inf
+
+
+class TestValidateDuration:
+    def test_accepts_positive(self):
+        assert validate_duration(1.5) == 1.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            validate_duration(0.0)
+
+    def test_accepts_zero_when_allowed(self):
+        assert validate_duration(0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_duration(-1.0, allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_duration(float("nan"))
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            validate_duration(None)
+
+
+class TestNeverSentinel:
+    def test_never_is_infinite(self):
+        assert math.isinf(NEVER)
+
+    def test_is_never_true_for_sentinel(self):
+        assert is_never(NEVER)
+
+    def test_is_never_false_for_finite(self):
+        assert not is_never(1e12)
+
+    def test_is_never_false_for_negative_infinity(self):
+        assert not is_never(-math.inf)
+
+    def test_time_zero(self):
+        assert TIME_ZERO == 0.0
+
+
+class TestTimeWindow:
+    def test_duration(self):
+        assert TimeWindow(1.0, 4.0).duration == 3.0
+
+    def test_contains_start_inclusive(self):
+        assert TimeWindow(1.0, 4.0).contains(1.0)
+
+    def test_contains_end_exclusive(self):
+        assert not TimeWindow(1.0, 4.0).contains(4.0)
+
+    def test_contains_interior(self):
+        assert TimeWindow(1.0, 4.0).contains(2.5)
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            TimeWindow(4.0, 1.0)
+
+    def test_clamp_below(self):
+        assert TimeWindow(1.0, 4.0).clamp(0.0) == 1.0
+
+    def test_clamp_above(self):
+        assert TimeWindow(1.0, 4.0).clamp(9.0) == 4.0
+
+    def test_clamp_inside(self):
+        assert TimeWindow(1.0, 4.0).clamp(2.0) == 2.0
+
+    def test_subdivide_counts(self):
+        parts = TimeWindow(0.0, 10.0).subdivide(4)
+        assert len(parts) == 4
+        assert parts[0].start == 0.0
+        assert parts[-1].end == pytest.approx(10.0)
+
+    def test_subdivide_contiguous(self):
+        parts = TimeWindow(0.0, 9.0).subdivide(3)
+        for left, right in zip(parts, parts[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_subdivide_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0.0, 1.0).subdivide(0)
+
+    def test_subdivide_rejects_open_ended(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0.0, NEVER).subdivide(2)
+
+    def test_open_ended_window_allowed(self):
+        window = TimeWindow(0.0, NEVER)
+        assert window.contains(1e18)
+
+
+class TestEarliestLatest:
+    def test_earliest_of_values(self):
+        assert earliest([3.0, 1.0, 2.0]) == 1.0
+
+    def test_earliest_empty_is_never(self):
+        assert is_never(earliest([]))
+
+    def test_latest_of_values(self):
+        assert latest([3.0, 1.0, 2.0]) == 3.0
+
+    def test_latest_empty_is_zero(self):
+        assert latest([]) == 0.0

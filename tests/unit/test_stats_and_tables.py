@@ -1,0 +1,150 @@
+"""Unit tests for the statistics helpers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    mean_confidence_interval,
+    ratio,
+    summarize,
+)
+from repro.analysis.tables import (
+    format_cell,
+    render_ascii_curve,
+    render_series,
+    render_table,
+)
+
+
+class TestSummarize:
+    def test_empty_returns_none(self):
+        assert summarize([]) is None
+
+    def test_single_value(self):
+        stats = summarize([3.0])
+        assert stats.count == 1
+        assert stats.mean == 3.0
+        assert stats.std == 0.0
+        assert stats.minimum == stats.maximum == 3.0
+
+    def test_known_sample(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.p95 == pytest.approx(3.85)
+
+    def test_as_dict_keys(self):
+        data = summarize([1.0, 2.0]).as_dict()
+        assert set(data) == {"count", "mean", "std", "min", "median", "p95", "max"}
+
+
+class TestConfidenceInterval:
+    def test_single_sample_degenerates(self):
+        mean, low, high = mean_confidence_interval([5.0])
+        assert mean == low == high == 5.0
+
+    def test_interval_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert low <= mean <= high
+        assert mean == pytest.approx(3.0)
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, low95, high95 = mean_confidence_interval(data, 0.95)
+        _, low80, high80 = mean_confidence_interval(data, 0.80)
+        assert (high95 - low95) > (high80 - low80)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+    def test_interval_shrinks_with_more_data(self):
+        narrow = mean_confidence_interval([2.0, 2.1] * 50)
+        wide = mean_confidence_interval([2.0, 2.1] * 2)
+        assert (narrow[2] - narrow[1]) < (wide[2] - wide[1])
+
+
+class TestRatio:
+    def test_normal_division(self):
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_x_over_zero_is_inf(self):
+        assert math.isinf(ratio(5.0, 0.0))
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(ratio(0.0, 0.0))
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_formatting(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # Every data line must be at least as wide as its content columns.
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_title_rendered(self):
+        text = render_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+        assert text.splitlines()[1] == "========"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_render_series(self):
+        text = render_series("curve", [(0, 1.0), (1, 2.0)], x_label="t",
+                             y_label="sends")
+        assert "curve" in text
+        assert "t" in text.splitlines()[2]
+
+    def test_booleans_in_table(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+
+class TestAsciiCurve:
+    def test_empty_points(self):
+        assert "no data" in render_ascii_curve([], label="x")
+
+    def test_bars_scale_with_values(self):
+        text = render_ascii_curve([(0.0, 1.0), (1.0, 10.0)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_label_included(self):
+        assert render_ascii_curve([(0.0, 1.0)], label="sends").startswith("sends")
+
+    def test_zero_values_do_not_crash(self):
+        text = render_ascii_curve([(0.0, 0.0), (1.0, 0.0)])
+        assert "0" in text

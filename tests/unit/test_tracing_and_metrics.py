@@ -1,0 +1,172 @@
+"""Unit tests for trace recording and metric collection."""
+
+import pytest
+
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.tracing import TraceCategory, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_len(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.SEND, 0, dst=1)
+        trace.record(2.0, TraceCategory.DROP, 0, dst=2)
+        assert len(trace) == 2
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        assert trace.record(1.0, TraceCategory.SEND, 0) is None
+        assert len(trace) == 0
+
+    def test_filter_by_category(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.SEND, 0)
+        trace.record(1.5, TraceCategory.URB_DELIVER, 1, content="m")
+        assert len(trace.filter(category=TraceCategory.SEND)) == 1
+
+    def test_filter_by_process(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.SEND, 0)
+        trace.record(1.0, TraceCategory.SEND, 1)
+        assert len(trace.filter(process=1)) == 1
+
+    def test_filter_with_predicate(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.SEND, 0, kind="MSG")
+        trace.record(1.0, TraceCategory.SEND, 0, kind="ACK")
+        only_acks = trace.filter(predicate=lambda e: e.detail("kind") == "ACK")
+        assert len(only_acks) == 1
+
+    def test_count(self):
+        trace = TraceRecorder()
+        for _ in range(3):
+            trace.record(1.0, TraceCategory.CRASH, 0)
+        assert trace.count(TraceCategory.CRASH) == 3
+        assert trace.count(TraceCategory.SEND) == 0
+
+    def test_first_and_last_time(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.SEND, 0)
+        trace.record(5.0, TraceCategory.SEND, 0)
+        assert trace.first_time(TraceCategory.SEND) == 1.0
+        assert trace.last_time(TraceCategory.SEND) == 5.0
+        assert trace.last_time(TraceCategory.CRASH) is None
+
+    def test_timeline_buckets(self):
+        trace = TraceRecorder()
+        for t in (0.5, 1.5, 1.6, 4.2):
+            trace.record(t, TraceCategory.SEND, 0)
+        timeline = trace.timeline(TraceCategory.SEND, bucket=1.0)
+        counts = dict(timeline)
+        assert counts[0.0] == 1
+        assert counts[1.0] == 2
+        assert counts[4.0] == 1
+
+    def test_timeline_empty(self):
+        assert TraceRecorder().timeline(TraceCategory.SEND, 1.0) == []
+
+    def test_timeline_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().timeline(TraceCategory.SEND, 0.0)
+
+    def test_to_dicts_round_trip(self):
+        trace = TraceRecorder()
+        trace.record(1.0, TraceCategory.URB_DELIVER, 2, content="m0", tag=7)
+        row = trace.to_dicts()[0]
+        assert row["category"] == "urb_deliver"
+        assert row["process"] == 2
+        assert row["content"] == "m0"
+
+    def test_detail_default(self):
+        trace = TraceRecorder()
+        event = trace.record(1.0, TraceCategory.SEND, 0)
+        assert event.detail("missing", 42) == 42
+
+    def test_extend(self):
+        source = TraceRecorder()
+        source.record(1.0, TraceCategory.SEND, 0)
+        target = TraceRecorder()
+        target.extend(source.events)
+        assert len(target) == 1
+
+
+class TestMetricsCollector:
+    def test_send_counters(self):
+        metrics = MetricsCollector()
+        metrics.on_send(1.0, 0, "MSG")
+        metrics.on_send(2.0, 1, "ACK")
+        assert metrics.total_sends == 2
+        assert metrics.sends_by_kind == {"MSG": 1, "ACK": 1}
+        assert metrics.sends_by_process == {0: 1, 1: 1}
+        assert metrics.last_send_time == 2.0
+
+    def test_drop_counters(self):
+        metrics = MetricsCollector()
+        metrics.on_drop(1.0, 0, "MSG")
+        assert metrics.total_drops == 1
+        assert metrics.drops_by_kind["MSG"] == 1
+
+    def test_latency_samples(self):
+        metrics = MetricsCollector()
+        metrics.on_urb_broadcast(1.0, 0, "m0")
+        metrics.on_urb_deliver(3.5, 2, "m0")
+        assert metrics.deliveries == 1
+        assert metrics.latency_samples[0].latency == pytest.approx(2.5)
+
+    def test_rebroadcast_keeps_first_time(self):
+        metrics = MetricsCollector()
+        metrics.on_urb_broadcast(1.0, 0, "m0")
+        metrics.on_urb_broadcast(5.0, 1, "m0")
+        metrics.on_urb_deliver(6.0, 2, "m0")
+        assert metrics.latency_samples[0].latency == pytest.approx(5.0)
+
+    def test_delivery_without_broadcast_uses_zero(self):
+        metrics = MetricsCollector()
+        metrics.on_urb_deliver(4.0, 0, "ghost")
+        assert metrics.latency_samples[0].latency == pytest.approx(4.0)
+
+    def test_cumulative_sends_at(self):
+        metrics = MetricsCollector()
+        for t in (1.0, 2.0, 3.0):
+            metrics.on_send(t, 0, "MSG")
+        assert metrics.cumulative_sends_at(0.5) == 0
+        assert metrics.cumulative_sends_at(2.0) == 2
+        assert metrics.cumulative_sends_at(10.0) == 3
+
+    def test_sends_in_window(self):
+        metrics = MetricsCollector()
+        for t in (1.0, 2.0, 3.0):
+            metrics.on_send(t, 0, "MSG")
+        assert metrics.sends_in_window(1.5, 3.0) == 1
+
+    def test_summary_empty(self):
+        summary = MetricsCollector().summary()
+        assert summary.total_sends == 0
+        assert summary.mean_latency is None
+        assert summary.p95_latency is None
+
+    def test_summary_populated(self):
+        metrics = MetricsCollector()
+        metrics.on_urb_broadcast(0.0, 0, "m")
+        metrics.on_send(0.5, 0, "MSG")
+        metrics.on_channel_deliver(1.0, 1, "MSG")
+        metrics.on_urb_deliver(1.0, 1, "m")
+        metrics.on_finish(10.0)
+        summary = metrics.summary()
+        assert summary.total_sends == 1
+        assert summary.total_channel_deliveries == 1
+        assert summary.deliveries == 1
+        assert summary.mean_latency == pytest.approx(1.0)
+        assert summary.final_time == 10.0
+
+    def test_summary_as_dict(self):
+        data = MetricsCollector().summary().as_dict()
+        assert "total_sends" in data
+        assert "mean_latency" in data
+
+    def test_latencies_array(self):
+        metrics = MetricsCollector()
+        metrics.on_urb_broadcast(0.0, 0, "m")
+        metrics.on_urb_deliver(2.0, 1, "m")
+        metrics.on_urb_deliver(4.0, 2, "m")
+        assert list(metrics.latencies()) == [2.0, 4.0]

@@ -1,0 +1,145 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.simulation.events import BroadcastCommand
+from repro.workloads.base import ExplicitWorkload
+from repro.workloads.generators import (
+    AllToAll,
+    BurstWorkload,
+    PoissonStream,
+    SingleBroadcast,
+    UniformStream,
+    default_content_factory,
+)
+
+
+class TestExplicitWorkload:
+    def test_sorted_by_time(self):
+        workload = ExplicitWorkload(
+            [
+                BroadcastCommand(time=5.0, sender=1, content="b"),
+                BroadcastCommand(time=1.0, sender=0, content="a"),
+            ]
+        )
+        assert [c.content for c in workload] == ["a", "b"]
+
+    def test_len_and_contents(self):
+        workload = ExplicitWorkload(
+            [BroadcastCommand(time=0.0, sender=0, content="a")]
+        )
+        assert len(workload) == 1
+        assert workload.contents() == ["a"]
+
+    def test_describe(self):
+        workload = ExplicitWorkload([])
+        assert "0" in workload.describe()
+
+
+class TestSingleBroadcast:
+    def test_single_command(self):
+        workload = SingleBroadcast(sender=2, time=3.0, content="x")
+        commands = workload.commands()
+        assert len(commands) == 1
+        assert commands[0].sender == 2
+        assert commands[0].time == 3.0
+        assert commands[0].content == "x"
+
+    def test_senders_and_last_time(self):
+        workload = SingleBroadcast(sender=2, time=3.0)
+        assert workload.senders() == {2}
+        assert workload.last_broadcast_time() == 3.0
+
+
+class TestAllToAll:
+    def test_every_process_broadcasts_once(self):
+        workload = AllToAll(4)
+        assert workload.senders() == {0, 1, 2, 3}
+        assert len(workload) == 4
+
+    def test_spacing(self):
+        workload = AllToAll(3, start=1.0, spacing=2.0)
+        assert [c.time for c in workload] == [1.0, 3.0, 5.0]
+
+    def test_distinct_contents(self):
+        workload = AllToAll(5)
+        assert len(set(workload.contents())) == 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AllToAll(0)
+        with pytest.raises(ValueError):
+            AllToAll(3, spacing=-1.0)
+
+
+class TestUniformStream:
+    def test_interval_and_rotation(self):
+        workload = UniformStream(4, senders=(0, 1), start=2.0, interval=3.0)
+        commands = workload.commands()
+        assert [c.time for c in commands] == [2.0, 5.0, 8.0, 11.0]
+        assert [c.sender for c in commands] == [0, 1, 0, 1]
+
+    def test_contents_unique(self):
+        workload = UniformStream(6, senders=(0,))
+        assert len(set(workload.contents())) == 6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            UniformStream(0)
+        with pytest.raises(ValueError):
+            UniformStream(2, senders=())
+        with pytest.raises(ValueError):
+            UniformStream(2, interval=-1.0)
+
+
+class TestPoissonStream:
+    def test_count_and_monotone_times(self):
+        workload = PoissonStream(20, n_processes=4, rate=1.0, rng=random.Random(0))
+        times = [c.time for c in workload]
+        assert len(times) == 20
+        assert times == sorted(times)
+
+    def test_senders_within_range(self):
+        workload = PoissonStream(50, n_processes=3, rate=2.0, rng=random.Random(1))
+        assert workload.senders() <= {0, 1, 2}
+
+    def test_deterministic_given_rng(self):
+        a = PoissonStream(10, 3, 1.0, random.Random(5))
+        b = PoissonStream(10, 3, 1.0, random.Random(5))
+        assert [c.time for c in a] == [c.time for c in b]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonStream(0, 3, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            PoissonStream(3, 0, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            PoissonStream(3, 3, 0.0, random.Random(0))
+
+
+class TestBurstWorkload:
+    def test_all_at_same_time(self):
+        workload = BurstWorkload(5, sender=1, time=4.0)
+        assert all(c.time == 4.0 for c in workload)
+        assert workload.senders() == {1}
+
+    def test_multiple_senders_rotate(self):
+        workload = BurstWorkload(4, senders=(0, 1))
+        assert [c.sender for c in workload.commands()] == [0, 1, 0, 1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BurstWorkload(0)
+        with pytest.raises(ValueError):
+            BurstWorkload(2, sender=None, senders=None)
+
+
+class TestContentFactory:
+    def test_default_factory(self):
+        assert default_content_factory(3) == "m3"
+
+    def test_custom_factory(self):
+        workload = AllToAll(2, content_factory=lambda k: ("msg", k))
+        assert workload.contents() == [("msg", 0), ("msg", 1)]
