@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Extending the library: plugging a custom broadcast protocol into the
-simulator.
+simulator through the component registry.
 
 The engine only needs the three :class:`repro.core.BroadcastProtocol` entry
 points (``urb_broadcast``, ``on_receive``, ``on_tick``), so new protocols can
 be evaluated against the same channels, crash schedules, workloads and
-property checkers as the paper's algorithms.
+property checkers as the paper's algorithms.  Registering a factory with
+:func:`repro.registry.register_algorithm` makes the protocol a first-class
+citizen: ``Scenario(algorithm="gossip_k")`` validates, builds and runs it
+exactly like the built-ins — no engine surgery required.
 
 The protocol implemented here is a deliberately naive "gossip-k" broadcast:
 on every retransmission round each process re-broadcasts every message it has
@@ -26,9 +29,8 @@ from repro import Scenario, run_scenario
 from repro.analysis.tables import render_table
 from repro.core import AnonymousProcess, MsgPayload, TaggedMessage
 from repro.core.messages import AckPayload, LabeledAckPayload
-from repro.experiments.runner import build_engine
 from repro.network import LossSpec
-from repro.simulation.engine import SimulationEngine
+from repro.registry import register_algorithm
 from repro.workloads import SingleBroadcast
 
 
@@ -72,27 +74,29 @@ class GossipKProcess(AnonymousProcess):
         return sum(1 for remaining in self._remaining.values() if remaining > 0)
 
 
+@register_algorithm(
+    "gossip_k",
+    description="Bounded gossip: re-broadcast everything for k rounds "
+                "(metadata: gossip_rounds)",
+)
+def build_gossip(scenario: Scenario, index: int, env) -> GossipKProcess:
+    """Registry factory: per-message round budget comes from the scenario."""
+    return GossipKProcess(env, rounds=int(scenario.metadata.get("gossip_rounds", 3)))
+
+
 def run_gossip(rounds: int, loss: float, seed: int):
-    """Wire the custom protocol into the standard engine by hand."""
-    scenario = Scenario(
+    """The custom protocol is now just a named algorithm in a Scenario."""
+    result = run_scenario(Scenario(
         name=f"gossip-{rounds}",
-        algorithm="algorithm1",          # placeholder, replaced below
+        algorithm="gossip_k",
         n_processes=6,
         loss=LossSpec.bernoulli(loss),
         workload=SingleBroadcast(sender=0, time=0.0),
         max_time=60.0,
         seed=seed,
-    )
-    engine: SimulationEngine = build_engine(scenario)
-    # Swap in the custom protocol: same environments, same network.
-    engine.processes = {
-        index: GossipKProcess(env, rounds=rounds)
-        for index, env in engine.environments.items()
-    }
-    simulation = engine.run()
-    from repro.analysis.properties import check_urb_properties
-
-    return simulation, check_urb_properties(simulation)
+        metadata={"gossip_rounds": rounds},
+    ))
+    return result.simulation, result.verdict
 
 
 def main() -> None:

@@ -30,13 +30,22 @@ from .core import (
     TaggedMessage,
 )
 from .experiments import (
+    BatchRunner,
     Scenario,
     ScenarioResult,
+    ScenarioSuite,
+    SuiteResult,
     build_engine,
     default_scenario,
     replicate,
     run_scenario,
     run_scenarios,
+)
+from .registry import (
+    register_algorithm,
+    register_channel,
+    register_detector_setup,
+    register_workload,
 )
 from .simulation import (
     BroadcastCommand,
@@ -49,6 +58,7 @@ from .simulation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRunner",
     "BestEffortBroadcastProcess",
     "BroadcastCommand",
     "BroadcastProtocol",
@@ -59,12 +69,18 @@ __all__ = [
     "QuiescentUrbProcess",
     "Scenario",
     "ScenarioResult",
+    "ScenarioSuite",
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
+    "SuiteResult",
     "TaggedMessage",
     "build_engine",
     "default_scenario",
+    "register_algorithm",
+    "register_channel",
+    "register_detector_setup",
+    "register_workload",
     "replicate",
     "run_scenario",
     "run_scenarios",

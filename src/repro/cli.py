@@ -7,29 +7,53 @@ Sub-commands
 ------------
 ``list``
     List the registered experiments.
+``components``
+    List the registered pluggable components (algorithms, channel families,
+    failure-detector setups, workload presets) with their metadata.
 ``run E3 [--seeds 3] [--quick] [--output FILE]``
     Run one experiment (or ``all``) and print / save its tables and figures.
 ``demo [--algorithm algorithm2] [--n 5] [--loss 0.3] [--crashes 2]``
     Run a single scenario and print its analysis (a fast way to poke at the
     protocols without writing code).
+``sweep --field loss --values 0.0,0.2,0.4 [--seeds 3] [--parallel 4]``
+    Declarative scenario sweep through the batch runner, optionally fanned
+    out over worker processes.
+
+The ``--algorithm`` choices everywhere come from the live algorithm registry,
+so protocols registered by plugin modules (imported via ``--plugin``) are
+selectable by name.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .analysis.tables import render_table
-from .experiments import registry
-from .experiments.config import ALGORITHMS, Scenario
+from .experiments import registry as experiment_registry
+from .experiments.batch import ScenarioSuite, SuiteResult
+from .experiments.config import Scenario
 from .experiments.common import crash_last
 from .experiments.runner import run_scenario
 from .network.loss import LossSpec
+from .registry import (
+    algorithm_names,
+    algorithms,
+    channels,
+    detector_setups,
+    get_algorithm,
+    workloads,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser (exposed for tests)."""
+    """Build the argument parser (exposed for tests).
+
+    Built lazily per invocation so that ``choices`` reflect every component
+    registered at call time, including third-party plugins.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-urb",
         description=(
@@ -37,11 +61,31 @@ def build_parser() -> argparse.ArgumentParser:
             "fair lossy channels — experiment harness."
         ),
     )
+    # --plugin is accepted both before and after the subcommand; the values
+    # are collected by the position-agnostic pre-scan in main() (a subparser
+    # default would clobber top-level values, hence SUPPRESS).
+    plugin_parent = argparse.ArgumentParser(add_help=False)
+    plugin_parent.add_argument(
+        "--plugin", action="append", default=argparse.SUPPRESS, metavar="MODULE",
+        help="import MODULE before running (for repro.registry registrations); "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help=argparse.SUPPRESS,
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the registered experiments")
+    subparsers.add_parser("list", help="list the registered experiments",
+                          parents=[plugin_parent])
+    subparsers.add_parser(
+        "components",
+        help="list registered algorithms, channels, detector setups, workloads",
+        parents=[plugin_parent],
+    )
 
-    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')",
+                                       parents=[plugin_parent])
     run_parser.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
     run_parser.add_argument("--seeds", type=int, default=None,
                             help="replications per configuration")
@@ -50,8 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--output", type=str, default=None,
                             help="write the rendered report to this file")
 
-    demo_parser = subparsers.add_parser("demo", help="run a single scenario")
-    demo_parser.add_argument("--algorithm", choices=ALGORITHMS,
+    demo_parser = subparsers.add_parser("demo", help="run a single scenario",
+                                        parents=[plugin_parent])
+    demo_parser.add_argument("--algorithm", choices=algorithm_names(),
                              default="algorithm2")
     demo_parser.add_argument("--n", type=int, default=5, help="number of processes")
     demo_parser.add_argument("--loss", type=float, default=0.2,
@@ -60,25 +105,83 @@ def build_parser() -> argparse.ArgumentParser:
                              help="number of processes crashed at t=2")
     demo_parser.add_argument("--seed", type=int, default=0)
     demo_parser.add_argument("--max-time", type=float, default=150.0)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep one scenario field through the batch runner",
+        parents=[plugin_parent])
+    sweep_parser.add_argument("--algorithm", choices=algorithm_names(),
+                              default="algorithm2")
+    sweep_parser.add_argument("--field", default="loss",
+                              help="Scenario field to vary (default: loss; "
+                                   "'loss' values are Bernoulli probabilities)")
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated grid, e.g. 0.0,0.2,0.4")
+    sweep_parser.add_argument("--n", type=int, default=5,
+                              help="number of processes")
+    sweep_parser.add_argument("--crashes", type=int, default=0,
+                              help="number of processes crashed at t=2")
+    sweep_parser.add_argument("--seeds", type=int, default=3,
+                              help="replications per grid point")
+    sweep_parser.add_argument("--parallel", type=int, default=1,
+                              help="worker processes (1 = sequential)")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--max-time", type=float, default=150.0)
     return parser
 
 
 def _command_list() -> int:
     rows = []
-    for experiment_id in registry.experiment_ids():
-        entry = registry.get_experiment(experiment_id)
+    for experiment_id in experiment_registry.experiment_ids():
+        entry = experiment_registry.get_experiment(experiment_id)
         rows.append([entry.experiment_id, entry.title])
     print(render_table(["id", "title"], rows, title="Registered experiments"))
     return 0
 
 
+def _command_components() -> int:
+    algorithm_rows = [
+        [spec.name,
+         "yes" if spec.requires_majority else "no",
+         "yes" if spec.supports_quiescence else "no",
+         "yes" if spec.uses_failure_detectors else "no",
+         "yes" if spec.anonymous else "no",
+         spec.description]
+        for spec in algorithms.specs()
+    ]
+    print(render_table(
+        ["name", "needs majority", "quiescent", "uses FDs", "anonymous",
+         "description"],
+        algorithm_rows, title="Algorithms",
+    ))
+    print()
+    print(render_table(
+        ["name", "lossy", "description"],
+        [[s.name, "yes" if s.lossy else "no", s.description]
+         for s in channels.specs()],
+        title="Channel families",
+    ))
+    print()
+    print(render_table(
+        ["name", "description"],
+        [[s.name, s.description] for s in detector_setups.specs()],
+        title="Failure-detector setups",
+    ))
+    print()
+    print(render_table(
+        ["name", "description"],
+        [[s.name, s.description] for s in workloads.specs()],
+        title="Workload presets",
+    ))
+    return 0
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.experiment.lower() == "all":
-        results = registry.run_all(seeds=args.seeds, quick=args.quick)
+        results = experiment_registry.run_all(seeds=args.seeds, quick=args.quick)
     else:
         results = [
-            registry.run_experiment(args.experiment, seeds=args.seeds,
-                                    quick=args.quick)
+            experiment_registry.run_experiment(args.experiment, seeds=args.seeds,
+                                               quick=args.quick)
         ]
     text = "\n\n".join(result.render() for result in results)
     print(text)
@@ -89,23 +192,30 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_demo(args: argparse.Namespace) -> int:
-    if args.crashes >= args.n:
-        print("error: at least one process must remain correct", file=sys.stderr)
-        return 2
-    scenario = Scenario(
-        name="cli-demo",
+def _base_scenario(args: argparse.Namespace, name: str,
+                   loss: float = 0.0) -> Scenario:
+    """Scenario shared by the demo and sweep commands: crash-last pattern,
+    stop conditions derived from the algorithm spec's quiescence metadata."""
+    spec = get_algorithm(args.algorithm)
+    return Scenario(
+        name=name,
         algorithm=args.algorithm,
         n_processes=args.n,
         seed=args.seed,
         crashes=crash_last(args.n, args.crashes, time=2.0),
-        loss=LossSpec.bernoulli(args.loss) if args.loss > 0 else LossSpec.none(),
+        loss=LossSpec.bernoulli(loss) if loss > 0 else LossSpec.none(),
         max_time=args.max_time,
-        stop_when_quiescent=args.algorithm == "algorithm2",
-        stop_when_all_correct_delivered=args.algorithm != "algorithm2",
+        stop_when_quiescent=spec.supports_quiescence,
+        stop_when_all_correct_delivered=not spec.supports_quiescence,
         drain_grace_period=3.0,
     )
-    result = run_scenario(scenario)
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    if args.crashes >= args.n:
+        print("error: at least one process must remain correct", file=sys.stderr)
+        return 2
+    result = run_scenario(_base_scenario(args, "cli-demo", loss=args.loss))
     print(result.describe())
     summary = result.metrics
     rows = [[k, v] for k, v in sorted(summary.as_dict().items())
@@ -115,18 +225,128 @@ def _command_demo(args: argparse.Namespace) -> int:
     return 0 if result.all_properties_hold else 1
 
 
+def _parse_sweep_value(field: str, raw: str) -> Any:
+    """Parse one ``--values`` token for *field*.
+
+    ``loss`` floats become Bernoulli loss specs; other tokens are coerced to
+    bool (``true``/``false``), then int, then float, then kept as strings
+    (which covers registered workload names for ``--field workload``).
+    """
+    if field == "loss":
+        probability = float(raw)
+        return LossSpec.bernoulli(probability) if probability > 0 else LossSpec.none()
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _render_sweep_result(result: SuiteResult) -> str:
+    stats = result.group_stats(lambda r: r.metrics.mean_latency)
+    ok = result.group_fraction(lambda r: r.all_properties_hold)
+    quiescent = result.group_fraction(lambda r: r.quiescence.quiescent)
+    rows = []
+    for group, results in result.groups().items():
+        latency = stats[group]
+        rows.append([
+            group,
+            len(results),
+            f"{latency.mean:.3f}" if latency else "-",
+            f"{ok[group]:.2f}",
+            f"{quiescent[group]:.2f}",
+        ])
+    return render_table(
+        ["configuration", "runs", "mean latency", "URB ok", "quiescent"],
+        rows,
+        title=f"Sweep ({result.parallel} worker(s), "
+              f"{result.elapsed_seconds:.1f}s wall-clock)",
+    )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.crashes >= args.n:
+        print("error: at least one process must remain correct", file=sys.stderr)
+        return 2
+    base = _base_scenario(args, f"sweep-{args.algorithm}")
+    try:
+        values = [_parse_sweep_value(args.field, token)
+                  for token in args.values.split(",") if token]
+    except ValueError as exc:
+        print(f"error: bad --values entry for field {args.field!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not values:
+        print("error: --values contained no usable entries", file=sys.stderr)
+        return 2
+    try:
+        suite = (
+            ScenarioSuite(f"cli-sweep-{args.field}")
+            .add_sweep(base, args.field, values,
+                       groups=[f"{args.field}={token}"
+                               for token in args.values.split(",") if token])
+            .with_seeds(args.seeds)
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: cannot build sweep over field {args.field!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    result = suite.run(
+        parallel=args.parallel,
+        progress=lambda done, total, item: print(
+            f"\r{done}/{total} runs finished", end="", file=sys.stderr),
+        worker_plugins=tuple(args.plugin),
+    )
+    print(file=sys.stderr)
+    print(_render_sweep_result(result))
+    for failure in result.failures:
+        print(f"warning: {failure.describe()}", file=sys.stderr)
+        if failure.details:
+            print(failure.details.rstrip(), file=sys.stderr)
+    # Like demo: exit 1 when any run violated the URB properties (or failed
+    # to execute), so CI jobs can gate on the sweep outcome.
+    all_hold = all(r.all_properties_hold for r in result.results)
+    return 0 if result.ok and all_hold else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    # Import plugins before building the parser so their registrations
+    # show up in --algorithm choices.
+    plugin_args, _ = _PLUGIN_PARSER.parse_known_args(argv)
+    for module_name in plugin_args.plugin:
+        try:
+            importlib.import_module(module_name)
+        except ImportError as exc:
+            print(f"error: cannot import --plugin {module_name!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The pre-scan saw --plugin wherever it appeared; make that the value
+    # commands consume (subparser parsing may have partially clobbered it).
+    args.plugin = plugin_args.plugin
     if args.command == "list":
         return _command_list()
+    if args.command == "components":
+        return _command_components()
     if args.command == "run":
         return _command_run(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+#: Minimal pre-parser so plugins can extend the registries before the real
+#: parser snapshots the registry names into ``choices``.
+_PLUGIN_PARSER = argparse.ArgumentParser(add_help=False)
+_PLUGIN_PARSER.add_argument("--plugin", action="append", default=[])
 
 
 if __name__ == "__main__":  # pragma: no cover

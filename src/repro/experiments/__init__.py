@@ -1,7 +1,15 @@
-"""Experiment harness: scenario configuration, runners, sweeps and the
-registry of the paper-style experiments E1–E10."""
+"""Experiment harness: scenario configuration, runners, suites/batching and
+the registry of the paper-style experiments E1–E10."""
 
-from .config import ALGORITHMS, CHANNEL_TYPES, Scenario
+from .batch import (
+    BatchExecutionError,
+    BatchFailure,
+    BatchRunner,
+    ScenarioSuite,
+    SuiteItem,
+    SuiteResult,
+)
+from .config import Scenario
 from .export import (
     scenario_result_to_dict,
     write_artifact_csv,
@@ -13,6 +21,7 @@ from .report import ExperimentArtifact, ExperimentResult
 from .runner import (
     ScenarioResult,
     build_engine,
+    build_workload,
     default_scenario,
     replicate,
     run_scenario,
@@ -22,13 +31,20 @@ from .sweeps import SweepPoint, grid, sweep
 
 __all__ = [
     "ALGORITHMS",
+    "BatchExecutionError",
+    "BatchFailure",
+    "BatchRunner",
     "CHANNEL_TYPES",
     "ExperimentArtifact",
     "ExperimentResult",
     "Scenario",
     "ScenarioResult",
+    "ScenarioSuite",
+    "SuiteItem",
+    "SuiteResult",
     "SweepPoint",
     "build_engine",
+    "build_workload",
     "default_scenario",
     "grid",
     "replicate",
@@ -41,3 +57,17 @@ __all__ = [
     "write_experiment_json",
     "write_scenario_json",
 ]
+
+
+def __getattr__(name: str):
+    """Forward the legacy ``ALGORITHMS`` / ``CHANNEL_TYPES`` tuples.
+
+    These are live views of the component registries (see
+    :mod:`repro.experiments.config`), kept as module attributes for
+    backwards compatibility.
+    """
+    if name in ("ALGORITHMS", "CHANNEL_TYPES"):
+        from . import config
+
+        return getattr(config, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,26 +14,30 @@ seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..network.delay import DelaySpec
 from ..network.fair_lossy import DEFAULT_FAIRNESS_BOUND
 from ..network.loss import LossSpec
 from ..failure_detectors.policies import DisseminationPolicy
+from ..registry import algorithms, channels, detector_setups, workloads
 from ..simulation.hooks import EngineHook
 from ..workloads.base import Workload
 
-#: Algorithms selectable by name.
-ALGORITHMS = (
-    "algorithm1",
-    "algorithm2",
-    "best_effort",
-    "eager_rb",
-    "identified_urb",
-)
 
-#: Channel families selectable by name.
-CHANNEL_TYPES = ("fair_lossy", "reliable", "quasi_reliable")
+def __getattr__(name: str):
+    """Legacy aliases: live views of the component registries.
+
+    ``ALGORITHMS`` and ``CHANNEL_TYPES`` used to be hardcoded tuples; they now
+    reflect whatever is registered in :mod:`repro.registry` at access time, so
+    code iterating over them keeps working and additionally sees third-party
+    registrations.
+    """
+    if name == "ALGORITHMS":
+        return algorithms.names()
+    if name == "CHANNEL_TYPES":
+        return channels.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -45,7 +49,7 @@ class Scenario:
     name:
         Free-form scenario name used in reports.
     algorithm:
-        One of :data:`ALGORITHMS`.
+        Name of a registered algorithm (see :mod:`repro.registry`).
     n_processes:
         Number of anonymous processes.
     seed:
@@ -62,13 +66,17 @@ class Scenario:
         Engine self-check period for early-stop predicates.
     stop_when_all_correct_delivered, stop_when_quiescent, drain_grace_period:
         Early-stop behaviour.
+    detector_setup:
+        Name of a registered failure-detector setup (only consulted for
+        algorithms whose spec sets ``uses_failure_detectors``).
     fd_policy, fd_detection_delay, fd_learn_delay, apstar_detection_delay:
         Failure-detector parameterisation (Algorithm 2 only).
     strict_equality, retire_enabled, eager_first_broadcast, majority_threshold:
         Algorithm options.
     workload:
-        The application broadcast schedule (defaults to a single broadcast by
-        process 0 at time 0).
+        The application broadcast schedule: a :class:`Workload` instance, the
+        name of a registered workload preset, or ``None`` (a single broadcast
+        by process 0 at time 0).
     trace_enabled, trace_ticks:
         Trace recording switches (disable for very large benchmark runs).
     hooks:
@@ -96,6 +104,7 @@ class Scenario:
     stop_when_quiescent: bool = False
     drain_grace_period: float = 0.0
 
+    detector_setup: str = "oracle"
     fd_policy: DisseminationPolicy | str = DisseminationPolicy.CORRECT_ONLY
     fd_detection_delay: float = 2.0
     fd_learn_delay: float = 0.0
@@ -106,7 +115,7 @@ class Scenario:
     eager_first_broadcast: bool = True
     majority_threshold: Optional[int] = None
 
-    workload: Optional[Workload] = None
+    workload: Optional[Union[Workload, str]] = None
 
     trace_enabled: bool = True
     trace_ticks: bool = False
@@ -116,15 +125,13 @@ class Scenario:
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
-            )
-        if self.channel_type not in CHANNEL_TYPES:
-            raise ValueError(
-                f"unknown channel type {self.channel_type!r}; expected one of "
-                f"{CHANNEL_TYPES}"
-            )
+        # Validate component names against the *live* registries so that
+        # third-party registrations are accepted exactly like built-ins.
+        algorithms.validate(self.algorithm)
+        channels.validate(self.channel_type)
+        detector_setups.validate(self.detector_setup)
+        if isinstance(self.workload, str):
+            workloads.validate(self.workload)
         if self.n_processes < 1:
             raise ValueError("n_processes must be positive")
         if self.tick_interval <= 0:

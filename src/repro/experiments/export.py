@@ -52,6 +52,10 @@ def scenario_result_to_dict(result: ScenarioResult) -> dict[str, Any]:
             "loss": scenario.loss.describe(),
             "delay": scenario.delay.describe(),
             "channel_type": scenario.channel_type,
+            "detector_setup": scenario.detector_setup,
+            "workload": (scenario.workload if isinstance(scenario.workload, str)
+                         else scenario.workload.describe()
+                         if scenario.workload is not None else None),
             "fd_policy": scenario.fd_policy.value,
         },
         "verdict": {

@@ -21,27 +21,16 @@ from typing import Callable, Iterable, Optional, Sequence
 from ..analysis.anonymity import AnonymityAudit, audit_anonymity
 from ..analysis.properties import UrbVerdict, check_urb_properties
 from ..analysis.quiescence import QuiescenceReport, analyze_quiescence
-from ..core.algorithm1 import MajorityUrbProcess
-from ..core.algorithm2 import QuiescentUrbProcess
-from ..core.baselines import (
-    BestEffortBroadcastProcess,
-    EagerReliableBroadcastProcess,
-    IdentifiedMajorityUrbProcess,
-)
 from ..core.interfaces import BroadcastProtocol
-from ..failure_detectors.apstar import APStarOracle
-from ..failure_detectors.atheta import AThetaOracle
-from ..failure_detectors.oracle import GroundTruthOracle
-from ..network.fair_lossy import FairLossyChannelFactory
 from ..network.network import Network
-from ..network.reliable import QuasiReliableChannelFactory, ReliableChannelFactory
+from ..registry import algorithms, channels, detector_setups, workloads
 from ..simulation.config import SimulationConfig, StopConditions
 from ..simulation.engine import SimulationEngine, SimulationResult
 from ..simulation.environment import ProcessEnvironment
 from ..simulation.faults import CrashSchedule
 from ..simulation.rng import RandomSource
 from ..simulation.tracing import TraceRecorder
-from ..workloads.generators import SingleBroadcast
+from ..workloads.base import Workload
 from .config import Scenario
 
 
@@ -87,84 +76,64 @@ def build_crash_schedule(scenario: Scenario) -> CrashSchedule:
 
 def build_network(scenario: Scenario, random_source: RandomSource,
                   crash_schedule: CrashSchedule) -> Network:
-    """Build the network described by the scenario."""
-    if scenario.channel_type == "reliable":
-        factory = ReliableChannelFactory(delay_spec=scenario.delay)
-    elif scenario.channel_type == "quasi_reliable":
-        factory = QuasiReliableChannelFactory(
-            sender_crash_time=crash_schedule.crash_time,
-            delay_spec=scenario.delay,
-        )
-    else:
-        factory = FairLossyChannelFactory(
-            loss_spec=scenario.loss,
-            delay_spec=scenario.delay,
-            fairness_bound=scenario.fairness_bound,
-        )
+    """Build the network described by the scenario.
+
+    The channel family is resolved through the :data:`repro.registry.channels`
+    registry, so custom families registered with
+    :func:`~repro.registry.register_channel` are built exactly like the
+    built-in ones.
+    """
+    spec = channels.get(scenario.channel_type)
+    factory = spec.factory(scenario, crash_schedule)
     return Network(scenario.n_processes, factory, random_source)
 
 
 def build_detectors(scenario: Scenario, crash_schedule: CrashSchedule,
                     random_source: RandomSource):
-    """Build the AΘ and AP\\* oracles for the scenario (or ``(None, None)``)."""
-    if scenario.algorithm != "algorithm2":
+    """Build the AΘ and AP\\* oracles for the scenario (or ``(None, None)``).
+
+    Whether oracles are needed at all is decided by the algorithm spec's
+    ``uses_failure_detectors`` flag; *which* oracles are built is decided by
+    the scenario's ``detector_setup`` registry entry.
+    """
+    if not algorithms.get(scenario.algorithm).uses_failure_detectors:
         return None, None
-    ground_truth = GroundTruthOracle(
-        crash_schedule, rng=random_source.stream("labels")
-    )
-    atheta = AThetaOracle(
-        ground_truth,
-        policy=scenario.fd_policy,
-        detection_delay=scenario.fd_detection_delay,
-        learn_delay=scenario.fd_learn_delay,
-        rng=random_source.stream("atheta-learn"),
-    )
-    apstar = APStarOracle(
-        ground_truth,
-        policy=scenario.fd_policy,
-        detection_delay=scenario.effective_apstar_delay,
-        learn_delay=scenario.fd_learn_delay,
-        rng=random_source.stream("apstar-learn"),
-    )
-    return atheta, apstar
+    setup = detector_setups.get(scenario.detector_setup)
+    return setup.factory(scenario, crash_schedule, random_source)
 
 
 def build_process_factory(
     scenario: Scenario,
 ) -> Callable[[int, ProcessEnvironment], BroadcastProtocol]:
-    """Factory building each process's protocol instance."""
-    algorithm = scenario.algorithm
+    """Factory building each process's protocol instance.
+
+    Thin curry over the registered :class:`~repro.registry.AlgorithmSpec`:
+    the spec's factory receives ``(scenario, index, env)`` and the engine
+    keeps its ``(index, env)`` calling convention.
+    """
+    spec = algorithms.get(scenario.algorithm)
 
     def factory(index: int, env: ProcessEnvironment) -> BroadcastProtocol:
-        if algorithm == "algorithm1":
-            return MajorityUrbProcess(
-                env,
-                scenario.n_processes,
-                majority_threshold=scenario.majority_threshold,
-                eager_first_broadcast=scenario.eager_first_broadcast,
-            )
-        if algorithm == "algorithm2":
-            return QuiescentUrbProcess(
-                env,
-                strict_equality=scenario.strict_equality,
-                retire_enabled=scenario.retire_enabled,
-                eager_first_broadcast=scenario.eager_first_broadcast,
-            )
-        if algorithm == "best_effort":
-            return BestEffortBroadcastProcess(env)
-        if algorithm == "eager_rb":
-            return EagerReliableBroadcastProcess(env)
-        if algorithm == "identified_urb":
-            return IdentifiedMajorityUrbProcess(
-                env,
-                scenario.n_processes,
-                identity=index,
-                majority_threshold=scenario.majority_threshold,
-                eager_first_broadcast=scenario.eager_first_broadcast,
-            )
-        raise ValueError(f"unknown algorithm {algorithm!r}")  # pragma: no cover
+        return spec.factory(scenario, index, env)
 
     return factory
+
+
+def build_workload(scenario: Scenario, random_source: RandomSource) -> Workload:
+    """Resolve the scenario's workload.
+
+    ``None`` means the registered ``"single"`` preset; a string is looked up
+    in the :data:`repro.registry.workloads` registry; a :class:`Workload`
+    instance is used as-is.  Presets draw randomness from the dedicated
+    ``"workload"`` substream of the run's master seed.
+    """
+    workload = scenario.workload
+    if workload is None:
+        workload = "single"
+    if isinstance(workload, str):
+        spec = workloads.get(workload)
+        return spec.factory(scenario, random_source.stream("workload"))
+    return workload
 
 
 def build_engine(scenario: Scenario) -> SimulationEngine:
@@ -173,7 +142,7 @@ def build_engine(scenario: Scenario) -> SimulationEngine:
     crash_schedule = build_crash_schedule(scenario)
     network = build_network(scenario, random_source, crash_schedule)
     atheta, apstar = build_detectors(scenario, crash_schedule, random_source)
-    workload = scenario.workload or SingleBroadcast(sender=0, time=0.0)
+    workload = build_workload(scenario, random_source)
     config = SimulationConfig(
         n_processes=scenario.n_processes,
         tick_interval=scenario.tick_interval,
@@ -211,7 +180,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     verdict = check_urb_properties(simulation)
     quiescence = analyze_quiescence(simulation)
     anonymity = audit_anonymity(
-        simulation, allow_identified=scenario.algorithm == "identified_urb"
+        simulation,
+        allow_identified=not algorithms.get(scenario.algorithm).anonymous,
     )
     return ScenarioResult(
         scenario=scenario,
@@ -222,14 +192,33 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
 
-def run_scenarios(scenarios: Iterable[Scenario]) -> list[ScenarioResult]:
-    """Run several scenarios sequentially."""
-    return [run_scenario(scenario) for scenario in scenarios]
+def run_scenarios(scenarios: Iterable[Scenario], *,
+                  parallel: int = 1,
+                  worker_plugins: Sequence[str] = ()) -> list[ScenarioResult]:
+    """Run several scenarios (thin shim over the batch runner).
+
+    ``parallel=1`` (the default) runs in-process, exactly like the historic
+    sequential implementation — exceptions propagate unmodified; with
+    ``parallel=N`` the scenarios fan out over a process pool with
+    deterministic result ordering and a failure raises
+    :class:`~repro.experiments.batch.BatchExecutionError` carrying the
+    worker traceback.  *worker_plugins* names modules each worker imports
+    first (required for third-party registry components on platforms that
+    spawn rather than fork workers).
+    """
+    from .batch import ScenarioSuite
+
+    suite = ScenarioSuite("run_scenarios").add_many(scenarios)
+    return list(suite.run(parallel=parallel, fail_fast=True,
+                          worker_plugins=worker_plugins).results)
 
 
 def replicate(
     scenario: Scenario,
     seeds: Sequence[int] | int,
+    *,
+    parallel: int = 1,
+    worker_plugins: Sequence[str] = (),
 ) -> list[ScenarioResult]:
     """Run the same scenario under several seeds.
 
@@ -240,12 +229,16 @@ def replicate(
     seeds:
         Either an explicit sequence of seeds, or an integer ``k`` meaning
         seeds ``0 .. k-1`` offset by the scenario's own seed.
+    parallel:
+        Number of worker processes (``1`` = in-process, sequential).
+    worker_plugins:
+        Modules each worker imports first (third-party registrations).
     """
-    if isinstance(seeds, int):
-        if seeds < 1:
-            raise ValueError("the number of replications must be positive")
-        seeds = [scenario.seed + i for i in range(seeds)]
-    return [run_scenario(scenario.with_seed(seed)) for seed in seeds]
+    from .batch import ScenarioSuite
+
+    suite = ScenarioSuite("replicate").add(scenario).with_seeds(seeds)
+    return list(suite.run(parallel=parallel, fail_fast=True,
+                          worker_plugins=worker_plugins).results)
 
 
 def default_scenario(algorithm: str = "algorithm2", **overrides) -> Scenario:

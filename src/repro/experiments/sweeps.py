@@ -11,8 +11,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..analysis.stats import mean_confidence_interval
+from .batch import ScenarioSuite
 from .config import Scenario
-from .runner import ScenarioResult, replicate
+from .runner import ScenarioResult
 
 
 @dataclass
@@ -55,6 +56,32 @@ class SweepPoint:
         return sum(1 for r in self.results if predicate(r)) / len(self.results)
 
 
+def _run_point_batch(
+    scenarios: Sequence[Scenario],
+    seeds: Sequence[int] | int,
+    parallel: int,
+    worker_plugins: Sequence[str],
+    name: str,
+) -> list[list[ScenarioResult]]:
+    """Run all points × seeds as ONE batch, returning results per point.
+
+    A single suite (and hence a single process pool) covers the whole sweep,
+    so ``parallel=N`` parallelises across points *and* seeds instead of
+    paying a pool startup per point.
+    """
+    if isinstance(seeds, int) and seeds < 1:
+        raise ValueError("the number of replications must be positive")
+    suite = ScenarioSuite(name)
+    for position, scenario in enumerate(scenarios):
+        suite.add(scenario, group=str(position))
+    suite.with_seeds(seeds)
+    result = suite.run(parallel=parallel, fail_fast=True,
+                       worker_plugins=worker_plugins)
+    grouped = result.groups()
+    return [list(grouped.get(str(position), []))
+            for position in range(len(scenarios))]
+
+
 def sweep(
     base: Scenario,
     field_name: str,
@@ -62,6 +89,8 @@ def sweep(
     *,
     seeds: Sequence[int] | int = 3,
     scenario_builder: Callable[[Scenario, Any], Scenario] | None = None,
+    parallel: int = 1,
+    worker_plugins: Sequence[str] = (),
 ) -> list[SweepPoint]:
     """Vary one scenario field over *values*, replicating each point.
 
@@ -80,16 +109,24 @@ def sweep(
         Optional custom ``(base, value) -> Scenario`` builder for sweeps that
         touch more than one field (e.g. "number of crashes" needs both the
         crash map and possibly the workload).
+    parallel:
+        Worker processes shared by the whole sweep (``1`` = sequential, the
+        historic behaviour; results are identical either way).
+    worker_plugins:
+        Modules each worker imports first (third-party registrations).
     """
-    points: list[SweepPoint] = []
-    for value in values:
-        if scenario_builder is not None:
-            scenario = scenario_builder(base, value)
-        else:
-            scenario = base.with_(**{field_name: value})
-        results = replicate(scenario, seeds)
-        points.append(SweepPoint(value=value, scenario=scenario, results=results))
-    return points
+    values = list(values)
+    scenarios = [
+        scenario_builder(base, value) if scenario_builder is not None
+        else base.with_(**{field_name: value})
+        for value in values
+    ]
+    per_point = _run_point_batch(scenarios, seeds, parallel, worker_plugins,
+                                 name=f"sweep-{field_name}")
+    return [
+        SweepPoint(value=value, scenario=scenario, results=results)
+        for value, scenario, results in zip(values, scenarios, per_point)
+    ]
 
 
 def grid(
@@ -98,18 +135,24 @@ def grid(
     grid_values: dict[str, Iterable[Any]],
     *,
     seeds: Sequence[int] | int = 3,
+    parallel: int = 1,
+    worker_plugins: Sequence[str] = (),
 ) -> list[tuple[dict[str, Any], list[ScenarioResult]]]:
     """Cartesian-product sweep over several named dimensions.
 
     Returns a list of ``(assignment, replications)`` pairs where
-    ``assignment`` maps each dimension name to the value used.
+    ``assignment`` maps each dimension name to the value used.  The whole
+    grid (all assignments × seeds) runs as one batch, so ``parallel=N``
+    shares a single process pool across every configuration.
     """
     names = list(grid_values)
-    points: list[tuple[dict[str, Any], list[ScenarioResult]]] = []
+    assignments: list[dict[str, Any]] = []
+    scenarios: list[Scenario] = []
 
     def expand(index: int, scenario: Scenario, assignment: dict[str, Any]) -> None:
         if index == len(names):
-            points.append((dict(assignment), replicate(scenario, seeds)))
+            assignments.append(dict(assignment))
+            scenarios.append(scenario)
             return
         name = names[index]
         for value in grid_values[name]:
@@ -118,4 +161,6 @@ def grid(
         del assignment[name]
 
     expand(0, base, {})
-    return points
+    per_point = _run_point_batch(scenarios, seeds, parallel, worker_plugins,
+                                 name="grid")
+    return list(zip(assignments, per_point))

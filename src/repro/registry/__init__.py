@@ -1,0 +1,257 @@
+"""Pluggable component registries.
+
+This package is the library's extension surface.  Four registries map names
+to component specs; everything that used to be a hardcoded tuple or an
+``if``/``elif`` dispatch chain now resolves through them:
+
+* :data:`algorithms` — broadcast protocols (``Scenario.algorithm``),
+* :data:`channels` — channel families (``Scenario.channel_type``),
+* :data:`detector_setups` — failure-detector wiring (``Scenario.detector_setup``),
+* :data:`workloads` — workload presets (``Scenario.workload`` by name).
+
+Registering a component makes it a first-class citizen of
+:class:`~repro.experiments.config.Scenario` validation, the scenario runner,
+the CLI's ``--algorithm`` choices, sweeps and the parallel batch runner.  The
+decorators are the intended entry point::
+
+    from repro.registry import register_algorithm
+
+    @register_algorithm("gossip_k", description="bounded gossip broadcast")
+    def build_gossip(scenario, index, env):
+        return GossipKProcess(env, rounds=scenario.metadata.get("gossip_rounds", 3))
+
+    result = run_scenario(Scenario(algorithm="gossip_k"))
+
+Built-in components live in :mod:`repro.registry.builtins` and are loaded
+lazily on the first registry read, so importing this package is cheap and
+free of import cycles.
+
+When running suites with ``parallel > 1`` the worker *processes* must also
+perform third-party registrations; pass the registering module names as
+``worker_plugins`` to :meth:`repro.experiments.batch.ScenarioSuite.run`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable
+
+from .base import (
+    DuplicateComponentError,
+    Registry,
+    RegistryError,
+    UnknownComponentError,
+)
+from .specs import (
+    AlgorithmFactory,
+    AlgorithmSpec,
+    ChannelFactoryBuilder,
+    ChannelSpec,
+    DetectorSetupFactory,
+    DetectorSetupSpec,
+    WorkloadFactory,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "ChannelSpec",
+    "DetectorSetupSpec",
+    "DuplicateComponentError",
+    "Registry",
+    "RegistryError",
+    "UnknownComponentError",
+    "WorkloadSpec",
+    "algorithm_names",
+    "algorithms",
+    "channel_names",
+    "channels",
+    "detector_setup_names",
+    "detector_setups",
+    "get_algorithm",
+    "get_channel",
+    "get_detector_setup",
+    "get_workload",
+    "register_algorithm",
+    "register_channel",
+    "register_detector_setup",
+    "register_workload",
+    "workload_names",
+    "workloads",
+]
+
+
+def _load_builtins() -> None:
+    importlib.import_module(f"{__name__}.builtins")
+
+
+_HINT = "Register new components with the repro.registry.register_* decorators"
+
+#: Broadcast protocols, selectable via ``Scenario.algorithm``.
+algorithms: Registry[AlgorithmSpec] = Registry(
+    "algorithm", loader=_load_builtins, hint=_HINT
+)
+#: Channel families, selectable via ``Scenario.channel_type``.
+channels: Registry[ChannelSpec] = Registry(
+    "channel type", loader=_load_builtins, hint=_HINT
+)
+#: Failure-detector setups, selectable via ``Scenario.detector_setup``.
+detector_setups: Registry[DetectorSetupSpec] = Registry(
+    "detector setup", loader=_load_builtins, hint=_HINT
+)
+#: Workload presets, selectable by passing their name as ``Scenario.workload``.
+workloads: Registry[WorkloadSpec] = Registry(
+    "workload", loader=_load_builtins, hint=_HINT
+)
+
+
+# --------------------------------------------------------------------------- #
+# decorators
+# --------------------------------------------------------------------------- #
+def register_algorithm(
+    name: str,
+    *,
+    description: str = "",
+    requires_majority: bool = False,
+    supports_quiescence: bool = False,
+    uses_failure_detectors: bool = False,
+    anonymous: bool = True,
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[AlgorithmFactory], AlgorithmFactory]:
+    """Register a ``(scenario, index, env) -> protocol`` factory as *name*."""
+
+    def decorator(factory: AlgorithmFactory) -> AlgorithmFactory:
+        algorithms.register(
+            AlgorithmSpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                requires_majority=requires_majority,
+                supports_quiescence=supports_quiescence,
+                uses_failure_detectors=uses_failure_detectors,
+                anonymous=anonymous,
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+def register_channel(
+    name: str,
+    *,
+    description: str = "",
+    lossy: bool = True,
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[ChannelFactoryBuilder], ChannelFactoryBuilder]:
+    """Register a ``(scenario, crash_schedule) -> channel factory`` builder."""
+
+    def decorator(factory: ChannelFactoryBuilder) -> ChannelFactoryBuilder:
+        channels.register(
+            ChannelSpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                lossy=lossy,
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+def register_detector_setup(
+    name: str,
+    *,
+    description: str = "",
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[DetectorSetupFactory], DetectorSetupFactory]:
+    """Register a ``(scenario, crashes, rng) -> (atheta, apstar)`` factory."""
+
+    def decorator(factory: DetectorSetupFactory) -> DetectorSetupFactory:
+        detector_setups.register(
+            DetectorSetupSpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+def register_workload(
+    name: str,
+    *,
+    description: str = "",
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[WorkloadFactory], WorkloadFactory]:
+    """Register a ``(scenario, rng) -> workload`` preset as *name*."""
+
+    def decorator(factory: WorkloadFactory) -> WorkloadFactory:
+        workloads.register(
+            WorkloadSpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+# --------------------------------------------------------------------------- #
+# lookup helpers (the names most call sites want)
+# --------------------------------------------------------------------------- #
+def algorithm_names() -> tuple[str, ...]:
+    """Registered algorithm names (built-ins first)."""
+    return algorithms.names()
+
+
+def channel_names() -> tuple[str, ...]:
+    """Registered channel-family names (built-ins first)."""
+    return channels.names()
+
+
+def detector_setup_names() -> tuple[str, ...]:
+    """Registered failure-detector setup names (built-ins first)."""
+    return detector_setups.names()
+
+
+def workload_names() -> tuple[str, ...]:
+    """Registered workload preset names (built-ins first)."""
+    return workloads.names()
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Spec of the algorithm registered as *name* (raises if unknown)."""
+    return algorithms.get(name)
+
+
+def get_channel(name: str) -> ChannelSpec:
+    """Spec of the channel family registered as *name* (raises if unknown)."""
+    return channels.get(name)
+
+
+def get_detector_setup(name: str) -> DetectorSetupSpec:
+    """Spec of the detector setup registered as *name* (raises if unknown)."""
+    return detector_setups.get(name)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Spec of the workload preset registered as *name* (raises if unknown)."""
+    return workloads.get(name)

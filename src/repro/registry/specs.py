@@ -1,0 +1,106 @@
+"""Spec dataclasses held by the component registries.
+
+Each spec couples a *name* with a *factory* and the metadata the harness
+needs to wire the component correctly without asking it anything else:
+
+* :class:`AlgorithmSpec` — builds one protocol process per index.  The
+  metadata flags replace what used to be special-cased string comparisons in
+  the runner: ``uses_failure_detectors`` decides whether the AΘ/AP\\* oracles
+  are constructed, ``anonymous`` parameterises the anonymity audit, and
+  ``requires_majority`` / ``supports_quiescence`` describe the protocol's
+  assumptions for reports and suite planning.
+* :class:`ChannelSpec` — builds the per-pair channel factory for a scenario.
+* :class:`DetectorSetupSpec` — builds the ``(atheta, apstar)`` oracle pair.
+* :class:`WorkloadSpec` — builds a workload preset from the scenario, so
+  sweeps can select workloads by (picklable) name.
+
+Factories receive the full :class:`~repro.experiments.config.Scenario`, which
+keeps their signatures stable while letting implementations read whichever
+fields (or ``scenario.metadata`` entries) they care about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.interfaces import BroadcastProtocol
+    from ..experiments.config import Scenario
+    from ..failure_detectors.base import FailureDetector
+    from ..simulation.environment import ProcessEnvironment
+    from ..simulation.faults import CrashSchedule
+    from ..simulation.rng import RandomSource
+    from ..workloads.base import Workload
+
+#: ``(scenario, index, env) -> protocol`` — one call per process.
+AlgorithmFactory = Callable[
+    ["Scenario", int, "ProcessEnvironment"], "BroadcastProtocol"
+]
+
+#: ``(scenario, crash_schedule) -> channel factory`` — the returned object
+#: must expose ``build(src, dst, loss_rng, delay_rng)`` and ``describe()``.
+ChannelFactoryBuilder = Callable[["Scenario", "CrashSchedule"], Any]
+
+#: ``(scenario, crash_schedule, random_source) -> (atheta, apstar)``.
+DetectorSetupFactory = Callable[
+    ["Scenario", "CrashSchedule", "RandomSource"],
+    Tuple[Optional["FailureDetector"], Optional["FailureDetector"]],
+]
+
+#: ``(scenario, rng) -> workload`` — *rng* is a dedicated substream of the
+#: run's master seed so randomised presets stay reproducible.
+WorkloadFactory = Callable[["Scenario", random.Random], "Workload"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered broadcast protocol."""
+
+    name: str
+    factory: AlgorithmFactory
+    description: str = ""
+    #: Correctness requires a majority of processes to stay correct.
+    requires_majority: bool = False
+    #: The protocol eventually stops sending (quiescence, §V of the paper).
+    supports_quiescence: bool = False
+    #: The runner must build the AΘ/AP\* oracle pair for this protocol.
+    uses_failure_detectors: bool = False
+    #: Processes are anonymous; identified protocols fail the anonymity audit
+    #: unless this is false.
+    anonymous: bool = True
+    #: Free-form extras (displayed by ``repro-urb components``).
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A registered channel family."""
+
+    name: str
+    factory: ChannelFactoryBuilder
+    description: str = ""
+    #: Whether the family can drop copies (drives report annotations).
+    lossy: bool = True
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DetectorSetupSpec:
+    """A registered failure-detector parameterisation."""
+
+    name: str
+    factory: DetectorSetupFactory
+    description: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A registered workload preset."""
+
+    name: str
+    factory: WorkloadFactory
+    description: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict)

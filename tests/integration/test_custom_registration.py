@@ -1,0 +1,109 @@
+"""End-to-end tests of the registry extension point: a protocol registered
+outside ``repro.core`` becomes a first-class citizen of Scenario validation,
+the engine builders, ``run_scenario``, the batch runner and the CLI."""
+
+from typing import Any
+
+import pytest
+
+from repro import Scenario, run_scenario
+from repro.cli import build_parser
+from repro.core import AnonymousProcess, MsgPayload, TaggedMessage
+from repro.experiments.batch import ScenarioSuite
+from repro.experiments.runner import build_engine
+from repro.registry import AlgorithmSpec, algorithms, register_algorithm
+
+
+class FloodProcess(AnonymousProcess):
+    """Minimal correct-ish protocol: re-broadcast everything every tick."""
+
+    name = "flood"
+
+    def __init__(self, env) -> None:
+        super().__init__(env, eager_first_broadcast=True)
+        self._seen: set[TaggedMessage] = set()
+
+    def urb_broadcast(self, content: Any) -> None:
+        message = TaggedMessage(content, self._new_tag())
+        self._seen.add(message)
+        self._record_delivery(message)
+        self.env.broadcast(MsgPayload(message))
+
+    def _on_msg(self, payload: MsgPayload) -> None:
+        if payload.message not in self._seen:
+            self._seen.add(payload.message)
+            self._record_delivery(payload.message)
+
+    def _on_ack(self, payload) -> None:
+        return
+
+    def on_tick(self) -> None:
+        for message in self._seen:
+            self.env.broadcast(MsgPayload(message))
+
+
+@pytest.fixture
+def flood_registered():
+    @register_algorithm("flood_test", description="flood everything")
+    def build_flood(scenario, index, env):
+        return FloodProcess(env)
+
+    yield "flood_test"
+    algorithms.unregister("flood_test")
+
+
+def flood_scenario(**overrides) -> Scenario:
+    defaults = dict(
+        algorithm="flood_test",
+        n_processes=4,
+        max_time=30.0,
+        stop_when_all_correct_delivered=True,
+        drain_grace_period=2.0,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestRegistryRoundTrip:
+    def test_scenario_validates_registered_name(self, flood_registered):
+        assert flood_scenario().algorithm == "flood_test"
+
+    def test_engine_builds_registered_protocol(self, flood_registered):
+        engine = build_engine(flood_scenario())
+        assert all(isinstance(p, FloodProcess)
+                   for p in engine.processes.values())
+
+    def test_run_scenario_delivers_everywhere(self, flood_registered):
+        result = run_scenario(flood_scenario())
+        assert result.simulation.metrics_summary().deliveries == 4
+        assert result.verdict.all_hold
+
+    def test_suite_runs_registered_protocol(self, flood_registered):
+        result = (ScenarioSuite("flood")
+                  .add(flood_scenario())
+                  .with_seeds(2)
+                  .run())
+        assert result.ok
+        assert len(result.results) == 2
+
+    def test_cli_choices_include_registered_name(self, flood_registered):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "--algorithm", "flood_test"])
+        assert args.algorithm == "flood_test"
+
+    def test_name_rejected_after_unregistration(self):
+        with pytest.raises(ValueError):
+            Scenario(algorithm="flood_test")
+
+
+class TestRegistryFirstClassAnalysis:
+    def test_anonymity_audit_uses_spec_metadata(self):
+        spec = AlgorithmSpec(
+            name="tmp_identified",
+            factory=lambda scenario, index, env: FloodProcess(env),
+            anonymous=False,
+        )
+        with algorithms.scoped(spec):
+            result = run_scenario(flood_scenario(algorithm="tmp_identified"))
+        # The audit ran in allow-identified mode and must not flag the run.
+        assert result.anonymity.passed
