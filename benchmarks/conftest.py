@@ -5,11 +5,28 @@ Every experiment benchmark runs the corresponding experiment module in
 ``pytest benchmarks/ --benchmark-only`` both measures the harness and
 regenerates a (reduced) version of every table and figure.  Full-scale
 reports are produced with ``python -m repro run all`` (see EXPERIMENTS.md).
+
+When ``pytest-benchmark`` is not installed (minimal environments, some CI
+jobs), the ``bench_*.py`` files are excluded from collection entirely so a
+plain ``pytest -x -q`` stays green instead of erroring on the missing
+``benchmark`` fixture.
 """
 
 from __future__ import annotations
 
 import pytest
+
+try:
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    HAVE_PYTEST_BENCHMARK = False
+else:
+    HAVE_PYTEST_BENCHMARK = True
+
+#: Without the plugin, skip collecting the benchmark files (their tests all
+#: require the ``benchmark`` fixture).  ``harness.py`` is importable either
+#: way — it does not use pytest-benchmark.
+collect_ignore_glob = [] if HAVE_PYTEST_BENCHMARK else ["bench_*.py"]
 
 
 def run_experiment_once(benchmark, runner, **kwargs):

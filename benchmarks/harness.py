@@ -1,0 +1,497 @@
+"""Benchmark harness: named scenarios, normalized results, baseline compare.
+
+The harness complements the ``bench_*.py`` pytest-benchmark files with a
+plain-Python subsystem that CI can run without plugins:
+
+* a registry of named benchmark scenarios — engine-level hot-path loads
+  (large-n quiescence, flood, lossy channels, raw event-queue churn) plus
+  wrappers around the experiment modules the ``bench_*.py`` files drive;
+* a runner that measures wall time, dispatched events/sec, protocol
+  ops/sec (sends) and peak RSS for each scenario;
+* a *calibration* loop whose throughput is measured on the same machine in
+  the same session, so scores can be normalized (``events_per_sec /
+  calibration_mops``) and compared across machines with less noise;
+* baseline load/compare helpers used by ``scripts/bench.py`` and CI.
+
+Results are serialised as ``BENCH_<name>.json`` (one file per scenario,
+schema below) and the committed baseline lives in
+``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.experiments.config import Scenario
+from repro.experiments.runner import build_engine
+from repro.network.delay import DelaySpec
+from repro.network.loss import LossSpec
+from repro.simulation.events import EventKind
+from repro.simulation.metrics import MetricsCollector, MetricsLevel
+from repro.simulation.scheduler import EventQueue
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default committed baseline location.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: Default regression tolerance (fraction of the baseline score).
+DEFAULT_TOLERANCE = 0.25
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in KiB.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark: when several
+    scenarios run in one process, later scenarios inherit earlier peaks.
+    Results therefore also carry a per-scenario ``rss_delta_kb`` (current
+    RSS growth across the timed region), which is the field to watch for
+    scenario-attributable memory changes.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return rss // 1024 if sys.platform == "darwin" else rss
+
+
+def current_rss_kb() -> int:
+    """Current resident set size in KiB (0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Measure this machine's throughput on a fixed pure-Python workload.
+
+    Returns the best observed rate in mega-operations per second.  The
+    workload (dict churn + integer arithmetic) is deliberately similar in
+    flavour to the simulator's hot path, so ``events_per_sec / mops`` is a
+    machine-independent-ish score suitable for cross-run comparison.
+    """
+    best = 0.0
+    n = 200_000
+    for _ in range(rounds):
+        counts: dict[int, int] = {}
+        start = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            key = i & 63
+            counts[key] = counts.get(key, 0) + 1
+            acc += key
+        elapsed = time.perf_counter() - start
+        best = max(best, n / elapsed / 1e6)
+    return best
+
+
+@dataclass
+class BenchResult:
+    """One scenario's normalized measurement."""
+
+    name: str
+    wall_time_s: float
+    events: int
+    events_per_sec: float
+    ops: int
+    ops_per_sec: float
+    peak_rss_kb: int
+    calibration_mops: float
+    quick: bool
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def normalized_score(self) -> float:
+        """Machine-normalized throughput: events/sec per calibration Mop/s."""
+        if self.calibration_mops <= 0:
+            return self.events_per_sec
+        return self.events_per_sec / self.calibration_mops
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (the ``BENCH_*.json`` schema)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "wall_time_s": self.wall_time_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "ops": self.ops,
+            "ops_per_sec": self.ops_per_sec,
+            "peak_rss_kb": self.peak_rss_kb,
+            "calibration_mops": self.calibration_mops,
+            "normalized_score": self.normalized_score,
+            "quick": self.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "meta": dict(self.meta),
+        }
+
+    def write(self, directory: Path) -> Path:
+        """Write ``BENCH_<name>.json`` into *directory* and return the path."""
+        path = Path(directory) / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A registered benchmark scenario.
+
+    ``run`` receives ``quick`` and returns ``(wall_time_s, events, ops,
+    meta)`` — the timed region must cover only the measured work, never
+    setup.
+    """
+
+    name: str
+    description: str
+    run: Callable[[bool], tuple[float, int, int, dict[str, Any]]]
+    default: bool = True
+
+
+BENCH_SCENARIOS: dict[str, BenchSpec] = {}
+
+
+def register_bench(name: str, description: str, *, default: bool = True):
+    """Decorator registering a benchmark scenario under *name*."""
+
+    def decorator(fn: Callable[[bool], tuple[float, int, int, dict[str, Any]]]):
+        BENCH_SCENARIOS[name] = BenchSpec(name, description, fn, default)
+        return fn
+
+    return decorator
+
+
+def _run_engine_scenario(
+    scenario: Scenario, *, metrics_level: Optional[MetricsLevel] = None
+) -> tuple[float, int, int, dict[str, Any]]:
+    """Build the engine untimed, then time ``engine.run()`` alone.
+
+    ``metrics_level=MetricsLevel.COUNTERS`` puts the collector in its
+    aggregate-counters-only mode — the intended configuration for large
+    benchmark sweeps, where per-event timeline/latency lists would dominate
+    time and memory without being read.
+    """
+    engine = build_engine(scenario)
+    if metrics_level is not None:
+        engine.metrics = MetricsCollector(level=metrics_level)
+    start = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    summary = result.metrics_summary()
+    meta = {
+        "n_processes": scenario.n_processes,
+        "algorithm": scenario.algorithm,
+        "stop_reason": result.stop_reason,
+        "final_time": result.final_time,
+        "total_sends": summary.total_sends,
+        "deliveries": summary.deliveries,
+    }
+    return elapsed, result.event_stats.total, summary.total_sends, meta
+
+
+@register_bench(
+    "quiescence_large_n",
+    "Algorithm 2 quiescence run at large n (the paper's E4 regime, scaled up)",
+)
+def _bench_quiescence_large_n(quick: bool):
+    n = 16 if quick else 40
+    scenario = Scenario(
+        name="bench-quiescence-large-n",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=1234,
+        loss=LossSpec.bernoulli(0.05),
+        delay=DelaySpec.uniform(0.05, 0.5),
+        workload="burst",
+        metadata={"burst_size": n},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=False,
+    )
+    return _run_engine_scenario(scenario, metrics_level=MetricsLevel.COUNTERS)
+
+
+@register_bench(
+    "flood_horizon",
+    "Algorithm 1 all-to-all flood to the horizon (never quiescent)",
+)
+def _bench_flood_horizon(quick: bool):
+    n = 8 if quick else 14
+    scenario = Scenario(
+        name="bench-flood-horizon",
+        algorithm="algorithm1",
+        n_processes=n,
+        seed=99,
+        workload="all_to_all",
+        max_time=25.0 if quick else 60.0,
+        trace_enabled=False,
+    )
+    return _run_engine_scenario(scenario, metrics_level=MetricsLevel.COUNTERS)
+
+
+@register_bench(
+    "lossy_channels",
+    "Algorithm 2 under heavy Bernoulli loss and exponential delays",
+)
+def _bench_lossy_channels(quick: bool):
+    n = 10 if quick else 24
+    scenario = Scenario(
+        name="bench-lossy-channels",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=7,
+        loss=LossSpec.bernoulli(0.3),
+        delay=DelaySpec.exponential(mean=0.4, cap=5.0),
+        workload="burst",
+        metadata={"burst_size": max(4, n // 2)},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=False,
+    )
+    return _run_engine_scenario(scenario, metrics_level=MetricsLevel.COUNTERS)
+
+
+@register_bench(
+    "lossy_batched",
+    "Same load as lossy_channels but with vectorized (batched) sampling",
+)
+def _bench_lossy_batched(quick: bool):
+    n = 10 if quick else 24
+    scenario = Scenario(
+        name="bench-lossy-batched",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=7,
+        loss=LossSpec.bernoulli(0.3, batch=1024),
+        delay=DelaySpec.exponential(mean=0.4, cap=5.0, batch=1024),
+        workload="burst",
+        metadata={"burst_size": max(4, n // 2)},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=False,
+    )
+    return _run_engine_scenario(scenario, metrics_level=MetricsLevel.COUNTERS)
+
+
+@register_bench(
+    "tracing_full",
+    "Mid-size Algorithm 2 run with full tracing and metrics recording on",
+)
+def _bench_tracing_full(quick: bool):
+    n = 8 if quick else 16
+    scenario = Scenario(
+        name="bench-tracing-full",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=5,
+        loss=LossSpec.bernoulli(0.1),
+        delay=DelaySpec.uniform(0.05, 0.5),
+        workload="burst",
+        metadata={"burst_size": n},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=True,
+    )
+    return _run_engine_scenario(scenario)
+
+
+@register_bench(
+    "event_queue_churn",
+    "Raw EventQueue push/pop churn (no protocol work)",
+)
+def _bench_event_queue_churn(quick: bool):
+    # Quick mode still runs a sizeable batch: shorter loops are dominated
+    # by timer/scheduler noise, which a 25% CI regression gate cannot absorb.
+    n_ops = 200_000 if quick else 500_000
+    queue = EventQueue()
+    kinds = (EventKind.RECEIVE, EventKind.TICK, EventKind.RECEIVE)
+    # Pre-fill so the heap has realistic depth, then run a pop/push cycle
+    # that mirrors the engine's steady state (each popped event schedules
+    # one or two successors).
+    for i in range(256):
+        queue.schedule(float(i % 17), kinds[i % 3], target=i % 32)
+    start = time.perf_counter()
+    pushed = 256
+    popped = 0
+    while popped < n_ops:
+        event = queue.pop()
+        popped += 1
+        t = event.time
+        queue.schedule(t + 1.0, kinds[popped % 3], target=popped % 32)
+        pushed += 1
+        if popped % 3 == 0:
+            queue.schedule(t + 2.5, EventKind.TICK, target=popped % 32)
+            pushed += 1
+        if popped % 4096 == 0:
+            queue.drop_pending(EventKind.TICK)
+    elapsed = time.perf_counter() - start
+    total = pushed + popped
+    return elapsed, total, total, {"pushed": pushed, "popped": popped}
+
+
+def _experiment_bench(module_name: str):
+    """Wrap an experiment module (as driven by ``bench_<name>.py``)."""
+
+    def run(quick: bool):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        start = time.perf_counter()
+        module.run(quick=True, seeds=1)
+        elapsed = time.perf_counter() - start
+        # Experiments do not expose a dispatched-event count; wall time is
+        # the tracked quantity (ops=1 run).
+        return elapsed, 0, 1, {"experiment": module_name, "quick_mode": True}
+
+    return run
+
+
+for _module in ("quiescence_time", "message_complexity", "scalability"):
+    BENCH_SCENARIOS[f"exp_{_module}"] = BenchSpec(
+        name=f"exp_{_module}",
+        description=f"End-to-end experiment module {_module} (quick mode)",
+        run=_experiment_bench(_module),
+        default=False,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# running and comparing
+# --------------------------------------------------------------------------- #
+def run_benchmark(
+    name: str,
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    calibration_mops: Optional[float] = None,
+) -> BenchResult:
+    """Run one registered scenario and return its normalized result.
+
+    With ``repeat > 1`` the scenario runs several times and the fastest
+    wall time wins (standard best-of-N to suppress scheduler noise).
+    """
+    spec = BENCH_SCENARIOS[name]
+    if calibration_mops is None:
+        calibration_mops = calibrate()
+    best: Optional[tuple[float, int, int, dict[str, Any]]] = None
+    rss_before = current_rss_kb()
+    for _ in range(max(1, repeat)):
+        measured = spec.run(quick)
+        if best is None or measured[0] < best[0]:
+            best = measured
+    assert best is not None
+    elapsed, events, ops, meta = best
+    meta = dict(meta)
+    meta["rss_delta_kb"] = max(0, current_rss_kb() - rss_before)
+    elapsed = max(elapsed, 1e-9)
+    return BenchResult(
+        name=name,
+        wall_time_s=elapsed,
+        events=events,
+        events_per_sec=events / elapsed,
+        ops=ops,
+        ops_per_sec=ops / elapsed,
+        peak_rss_kb=peak_rss_kb(),
+        calibration_mops=calibration_mops,
+        quick=quick,
+        meta=meta,
+    )
+
+
+def default_scenario_names() -> list[str]:
+    """Scenarios run when none are named explicitly (CI's quick set)."""
+    return [name for name, spec in BENCH_SCENARIOS.items() if spec.default]
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, Any]]:
+    """Load a baseline file: mapping scenario name -> recorded result dict."""
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict) and "scenarios" in data:
+        return dict(data["scenarios"])
+    raise ValueError(f"unrecognised baseline layout in {path}")
+
+
+def save_baseline(path: Path, results: list[BenchResult]) -> None:
+    """Write *results* as the committed baseline."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "scenarios": {r.name: r.as_dict() for r in results},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing one result against the committed baseline."""
+
+    name: str
+    baseline_score: float
+    current_score: float
+    ratio: float
+    regressed: bool
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name:24s} baseline={self.baseline_score:10.1f} "
+            f"current={self.current_score:10.1f} ratio={self.ratio:5.2f}x "
+            f"[{verdict}]"
+        )
+
+
+def compare_to_baseline(
+    results: list[BenchResult],
+    baseline: dict[str, dict[str, Any]],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Comparison]:
+    """Compare results against a baseline; a scenario regresses when its
+    normalized score falls below ``baseline * (1 - tolerance)``.
+
+    Scenarios absent from the baseline are skipped (new benchmarks must not
+    fail CI until a baseline for them is committed).  Wall-time-only
+    scenarios (``events == 0``) compare inverse wall time instead.
+    """
+    comparisons: list[Comparison] = []
+    for result in results:
+        recorded = baseline.get(result.name)
+        if recorded is None:
+            continue
+        base_score = float(recorded.get("normalized_score", 0.0))
+        cur_score = result.normalized_score
+        if result.events == 0 or base_score == 0.0:
+            base_wall = float(recorded.get("wall_time_s", 0.0))
+            if base_wall <= 0:
+                continue
+            # Normalize inverse wall time by each side's calibration so the
+            # fallback stays machine-comparable like the primary score.
+            base_cal = float(recorded.get("calibration_mops", 0.0)) or 1.0
+            cur_cal = result.calibration_mops or 1.0
+            base_score = 1.0 / (base_wall * base_cal)
+            cur_score = 1.0 / (result.wall_time_s * cur_cal)
+        ratio = cur_score / base_score if base_score else float("inf")
+        comparisons.append(
+            Comparison(
+                name=result.name,
+                baseline_score=base_score,
+                current_score=cur_score,
+                ratio=ratio,
+                regressed=cur_score < base_score * (1.0 - tolerance),
+            )
+        )
+    return comparisons

@@ -18,7 +18,7 @@ experiment (E1) reports the verdicts per configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..simulation.engine import SimulationResult

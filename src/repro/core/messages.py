@@ -12,6 +12,12 @@ the paper's algorithms:
 All payloads are immutable, hashable dataclasses: channels and protocol
 state store them in sets/dict keys, and identical retransmissions compare
 equal (which the fairness guard and loss models rely on for deduplication).
+
+Because the same payload object is hashed millions of times per run (every
+set lookup in the protocols, every channel deduplication), each class caches
+its hash at construction.  The cached value is exactly the tuple hash the
+generated ``dataclasses`` implementation would produce, so hash-dependent
+iteration orders — and therefore run determinism — are unchanged.
 """
 
 from __future__ import annotations
@@ -29,16 +35,20 @@ class TaggedMessage:
 
     content: Any
     tag: Tag
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.tag, int) or isinstance(self.tag, bool):
+            raise TypeError("tag must be an int")
         try:
-            hash(self.content)
+            object.__setattr__(self, "_hash", hash((self.content, self.tag)))
         except TypeError as exc:
             raise TypeError(
                 f"URB content must be hashable, got {self.content!r}"
             ) from exc
-        if not isinstance(self.tag, int) or isinstance(self.tag, bool):
-            raise TypeError("tag must be an int")
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def describe(self) -> str:
         """Short human-readable form used in traces and reports."""
@@ -57,7 +67,14 @@ class MsgPayload(ProtocolPayload):
     """The ``(MSG, m, tag)`` wire message (Algorithm 1 line 30 / Algorithm 2 line 54)."""
 
     message: TaggedMessage
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
     kind: ClassVar[str] = "MSG"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.message,)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def describe(self) -> str:
         """Short human-readable form."""
@@ -70,11 +87,16 @@ class AckPayload(ProtocolPayload):
 
     message: TaggedMessage
     ack_tag: Tag
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
     kind: ClassVar[str] = "ACK"
 
     def __post_init__(self) -> None:
         if not isinstance(self.ack_tag, int) or isinstance(self.ack_tag, bool):
             raise TypeError("ack_tag must be an int")
+        object.__setattr__(self, "_hash", hash((self.message, self.ack_tag)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def describe(self) -> str:
         """Short human-readable form."""
@@ -94,6 +116,7 @@ class LabeledAckPayload(ProtocolPayload):
     message: TaggedMessage
     ack_tag: Tag
     labels: frozenset[Label] = field(default_factory=frozenset)
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
     kind: ClassVar[str] = "ACK"
 
     def __post_init__(self) -> None:
@@ -104,6 +127,12 @@ class LabeledAckPayload(ProtocolPayload):
         for label in self.labels:
             if not isinstance(label, Label):
                 raise TypeError(f"labels must contain Label objects, got {label!r}")
+        object.__setattr__(
+            self, "_hash", hash((self.message, self.ack_tag, self.labels))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def describe(self) -> str:
         """Short human-readable form."""

@@ -16,7 +16,7 @@ This module is the main high-level entry point of the library::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..analysis.anonymity import AnonymityAudit, audit_anonymity
 from ..analysis.properties import UrbVerdict, check_urb_properties

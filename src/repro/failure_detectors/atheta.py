@@ -86,6 +86,13 @@ class AnonymousDetectorBase(FailureDetector):
                     self._learn_time[(viewer, subject)] = rng.uniform(
                         0.0, self.learn_delay
                     )
+        # Per-viewer view cache for the stable policies: maps viewer to
+        # ``(valid_from, valid_until, view)``.  Views are immutable, and for
+        # CORRECT_ONLY the output only changes when ``now`` crosses one of
+        # the (static) learning times, so a cached view can be returned for
+        # the whole half-open validity window — the hot path of Algorithm 2,
+        # which reads AΘ on every tick of every process.
+        self._view_cache: dict[int, tuple[float, float, FailureDetectorView]] = {}
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -127,23 +134,40 @@ class AnonymousDetectorBase(FailureDetector):
 
     # -- policy implementations ------------------------------------------ #
     def _own_only_view(self, viewer: int) -> FailureDetectorView:
+        cached = self._view_cache.get(viewer)
+        if cached is not None:
+            return cached[2]
         label = self.oracle.label_of(viewer)
-        return FailureDetectorView([FDPair(label, 1)])
+        view = FailureDetectorView([FDPair(label, 1)])
+        self._view_cache[viewer] = (0.0, float("inf"), view)
+        return view
 
     def _correct_only_view(self, viewer: int, now: SimTime) -> FailureDetectorView:
         # Prescient oracle: only correct processes' labels, visible only to
         # correct viewers; the associated number is |Correct| from the start,
         # so every output pair satisfies accuracy in every run (S(label) is a
         # subset of Correct) and completeness once learning delays elapse.
+        cached = self._view_cache.get(viewer)
+        if cached is not None and cached[0] <= now < cached[1]:
+            return cached[2]
         if self.oracle.is_faulty(viewer):
             return FailureDetectorView.empty()
         number = self.oracle.n_correct
-        pairs = [
-            FDPair(self.oracle.label_of(subject), number)
-            for subject in self.oracle.correct_indices()
-            if self._knows(viewer, subject, now)
-        ]
-        return FailureDetectorView(pairs)
+        learn_time = self._learn_time
+        valid_from = 0.0
+        valid_until = float("inf")
+        pairs = []
+        for subject in self.oracle.correct_indices():
+            lt = learn_time[(viewer, subject)]
+            if lt <= now:
+                pairs.append(FDPair(self.oracle.label_of(subject), number))
+                if lt > valid_from:
+                    valid_from = lt
+            elif lt < valid_until:
+                valid_until = lt
+        view = FailureDetectorView(pairs)
+        self._view_cache[viewer] = (valid_from, valid_until, view)
+        return view
 
     def _all_processes_view(self, viewer: int, now: SimTime) -> FailureDetectorView:
         # Detection-based oracle: every not-yet-detected process appears,

@@ -96,23 +96,30 @@ class LossyChannel(Channel):
         self._consecutive_drops: dict[DedupKey, int] = {}
 
     def transmit(self, key: DedupKey, now: SimTime) -> Optional[SimTime]:
-        self.stats.attempts += 1
+        stats = self.stats
+        stats.attempts += 1
         drop = self.loss_model.should_drop(self.src, self.dst, key)
-        if drop and self.fairness_bound is not None:
-            consecutive = self._consecutive_drops.get(key, 0)
-            if consecutive >= self.fairness_bound:
-                # Fairness guard: the loss model wanted to drop yet again,
-                # but the channel has already dropped `fairness_bound`
-                # consecutive copies of this payload — force delivery so the
-                # Fairness property holds on this finite run.
-                drop = False
-                self.stats.forced_deliveries += 1
+        consecutive_drops = self._consecutive_drops
         if drop:
-            self.stats.dropped += 1
-            self._consecutive_drops[key] = self._consecutive_drops.get(key, 0) + 1
-            return None
-        self.stats.delivered += 1
-        self._consecutive_drops[key] = 0
+            if self.fairness_bound is not None:
+                if consecutive_drops.get(key, 0) >= self.fairness_bound:
+                    # Fairness guard: the loss model wanted to drop yet
+                    # again, but the channel has already dropped
+                    # `fairness_bound` consecutive copies of this payload —
+                    # force delivery so the Fairness property holds on this
+                    # finite run.
+                    drop = False
+                    stats.forced_deliveries += 1
+            if drop:
+                stats.dropped += 1
+                consecutive_drops[key] = consecutive_drops.get(key, 0) + 1
+                return None
+        stats.delivered += 1
+        # Only non-zero counts are stored (absent key == zero drops), so the
+        # common no-drop path costs one membership test instead of growing
+        # the dict with a zero for every payload ever transmitted.
+        if consecutive_drops and key in consecutive_drops:
+            del consecutive_drops[key]
         return now + self.delay_model.sample()
 
     def consecutive_drops(self, key: DedupKey) -> int:

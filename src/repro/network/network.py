@@ -80,6 +80,14 @@ class Network:
         self.loopback_delivers = loopback_delivers
         self.dedup_key = dedup_key
         self._channels: dict[tuple[int, int], Channel] = {}
+        #: Per-source dense channel rows, built lazily for the broadcast
+        #: fast path (avoids a dict lookup per destination per send).  The
+        #: ``src`` slot is ``None`` when loopback is disabled.
+        self._rows: list[Optional[list[Optional[Channel]]]] = [None] * n_processes
+        #: Reusable result buffer for :meth:`broadcast_fast`.  Safe because
+        #: the engine fully consumes it before any code path can broadcast
+        #: again (protocol handlers run from later queue events).
+        self._fast_buffer: list[tuple[int, Optional[SimTime]]] = []
 
     # ------------------------------------------------------------------ #
     # channels
@@ -123,6 +131,50 @@ class Network:
                 continue
             outcomes.append(self._transmit(src, dst, payload, key, now))
         return outcomes
+
+    def _row(self, src: int) -> list[Optional[Channel]]:
+        """Dense destination-ordered channel row for *src* (built lazily).
+
+        When loopback is disabled the ``src`` slot holds ``None``: the
+        self-channel must not be instantiated, exactly like in
+        :meth:`broadcast`.
+        """
+        row = self._rows[src]
+        if row is None:
+            row = [
+                None if dst == src and not self.loopback_delivers
+                else self.channel(src, dst)
+                for dst in range(self.n_processes)
+            ]
+            self._rows[src] = row
+        return row
+
+    def broadcast_fast(
+        self, src: int, payload: Any, now: SimTime
+    ) -> list[tuple[int, Optional[SimTime]]]:
+        """Allocation-light variant of :meth:`broadcast`.
+
+        Returns ``(dst, deliver_time)`` pairs in destination order, with
+        ``deliver_time is None`` meaning the copy was dropped — skipping the
+        per-copy :class:`Envelope`/:class:`TransmissionOutcome` objects that
+        :meth:`broadcast` builds.  The returned list is a reusable buffer
+        owned by the network: callers must fully consume it before invoking
+        ``broadcast_fast`` again (the engine does).
+
+        Channel RNG draws happen in exactly the same order as in
+        :meth:`broadcast`, so runs using either path are bit-identical.
+        """
+        self._check_index(src)
+        key = self.dedup_key(payload)
+        row = self._row(src)
+        loopback = self.loopback_delivers
+        out = self._fast_buffer
+        out.clear()
+        for dst in range(self.n_processes):
+            if dst == src and not loopback:
+                continue
+            out.append((dst, row[dst].transmit(key, now)))
+        return out
 
     def unicast(self, src: int, dst: int, payload: Any, now: SimTime) -> TransmissionOutcome:
         """Point-to-point send (not used by the paper's protocols, provided

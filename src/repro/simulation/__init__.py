@@ -10,11 +10,11 @@ the protocol layer itself.
 from .config import SimulationConfig, StopConditions
 from .events import BroadcastCommand, Event, EventKind, EventStats
 from .faults import CrashSchedule
-from .metrics import LatencySample, MetricsCollector, MetricsSummary
+from .metrics import LatencySample, MetricsCollector, MetricsLevel, MetricsSummary
 from .rng import RandomSource, derive_seed
-from .scheduler import EventQueue, SchedulingError
+from .scheduler import EventQueue, QueuedEvent, SchedulingError
 from .simtime import NEVER, TIME_ZERO, SimTime, TimeWindow
-from .tracing import TraceCategory, TraceEvent, TraceRecorder
+from .tracing import TraceCategory, TraceEvent, TraceLevel, TraceRecorder
 
 #: Names resolved lazily to avoid import cycles with the protocol layer.
 _LAZY_EXPORTS = {
@@ -58,10 +58,12 @@ __all__ = [
     "EventStats",
     "LatencySample",
     "MetricsCollector",
+    "MetricsLevel",
     "MetricsSummary",
     "NEVER",
     "ProcessEnvironment",
     "ProcessFactory",
+    "QueuedEvent",
     "RandomSource",
     "SchedulingError",
     "SendBudgetHook",
@@ -74,6 +76,7 @@ __all__ = [
     "TimeWindow",
     "TraceCategory",
     "TraceEvent",
+    "TraceLevel",
     "TraceRecorder",
     "derive_seed",
 ]

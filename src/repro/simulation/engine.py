@@ -23,12 +23,12 @@ from ..failure_detectors.base import FailureDetector, FailureDetectorView
 from ..network.network import Network
 from .config import SimulationConfig
 from .environment import ProcessEnvironment
-from .events import BroadcastCommand, Event, EventKind, EventStats
+from .events import BroadcastCommand, EventKind, EventStats
 from .faults import CrashSchedule
 from .hooks import EngineHook
 from .metrics import MetricsCollector, MetricsSummary
 from .rng import RandomSource
-from .scheduler import EventQueue
+from .scheduler import EventQueue, QueuedEvent
 from .simtime import SimTime
 from .tracing import TraceCategory, TraceRecorder
 
@@ -156,6 +156,9 @@ class SimulationEngine:
 
         self.queue = EventQueue()
         self.event_stats = EventStats()
+        self._expected_contents: frozenset = frozenset(
+            cmd.content for cmd in self.workload
+        )
         self._now: SimTime = 0.0
         self._crashed: set[int] = set()
         self._stop_requested = False
@@ -192,20 +195,59 @@ class SimulationEngine:
     # services used by ProcessEnvironment
     # ------------------------------------------------------------------ #
     def broadcast_from(self, src: int, payload: Any) -> None:
-        """Execute the anonymous broadcast primitive on behalf of *src*."""
+        """Execute the anonymous broadcast primitive on behalf of *src*.
+
+        The no-hooks fast path fuses transmission and outcome processing
+        into one loop over the network's reusable ``broadcast_fast`` buffer,
+        skipping per-copy envelope objects; with hooks installed the
+        historic path is kept so that ``on_send`` hooks still observe the
+        broadcast before any receive event is scheduled.  Both paths draw
+        channel randomness in the same order and schedule identical events.
+        """
         if src in self._crashed:
             # A crashed process executes no further statements; silently
             # dropping the call keeps hooks and protocols simpler.
             return
         kind = payload_kind(payload)
-        outcomes = self.network.broadcast(src, payload, self._now)
+        now = self._now
+        if not self.hooks:
+            metrics = self.metrics
+            metrics_active = metrics.active
+            trace = self.trace
+            trace_channel = trace.channel_active
+            schedule = self.queue.schedule
+            for dst, deliver_time in self.network.broadcast_fast(
+                src, payload, now
+            ):
+                if metrics_active:
+                    metrics.on_send(now, src, kind)
+                if trace_channel:
+                    trace.record(
+                        now, TraceCategory.SEND, src,
+                        dst=dst, kind=kind, payload=payload,
+                    )
+                if deliver_time is not None:
+                    schedule(
+                        deliver_time, EventKind.RECEIVE,
+                        target=dst, payload=payload,
+                    )
+                else:
+                    if metrics_active:
+                        metrics.on_drop(now, src, kind)
+                    if trace_channel:
+                        trace.record(
+                            now, TraceCategory.DROP, src,
+                            dst=dst, kind=kind, payload=payload,
+                        )
+            return
+        outcomes = self.network.broadcast(src, payload, now)
         for hook in self.hooks:
-            hook.on_send(self, src, payload, self._now)
+            hook.on_send(self, src, payload, now)
         for outcome in outcomes:
             envelope = outcome.envelope
-            self.metrics.on_send(self._now, src, kind)
+            self.metrics.on_send(now, src, kind)
             self.trace.record(
-                self._now,
+                now,
                 TraceCategory.SEND,
                 src,
                 dst=envelope.dst,
@@ -218,9 +260,9 @@ class SimulationEngine:
                     target=envelope.dst, payload=payload,
                 )
             else:
-                self.metrics.on_drop(self._now, src, kind)
+                self.metrics.on_drop(now, src, kind)
                 self.trace.record(
-                    self._now,
+                    now,
                     TraceCategory.DROP,
                     src,
                     dst=envelope.dst,
@@ -242,26 +284,29 @@ class SimulationEngine:
 
     def on_process_delivered(self, index: int, message: TaggedMessage) -> None:
         """Record a URB-delivery and fire hooks."""
-        self.metrics.on_urb_deliver(self._now, index, message.content)
-        self.trace.record(
-            self._now,
-            TraceCategory.URB_DELIVER,
-            index,
-            content=message.content,
-            tag=message.tag,
-        )
+        if self.metrics.active:
+            self.metrics.on_urb_deliver(self._now, index, message.content)
+        if self.trace.protocol_active:
+            self.trace.record(
+                self._now,
+                TraceCategory.URB_DELIVER,
+                index,
+                content=message.content,
+                tag=message.tag,
+            )
         for hook in self.hooks:
             hook.on_deliver(self, index, message, self._now)
 
     def on_process_retired(self, index: int, message: TaggedMessage) -> None:
         """Record the retirement of a message from a process's MSG set."""
-        self.trace.record(
-            self._now,
-            TraceCategory.RETIRE,
-            index,
-            content=message.content,
-            tag=message.tag,
-        )
+        if self.trace.protocol_active:
+            self.trace.record(
+                self._now,
+                TraceCategory.RETIRE,
+                index,
+                content=message.content,
+                tag=message.tag,
+            )
 
     # ------------------------------------------------------------------ #
     # adversarial / external control
@@ -289,17 +334,22 @@ class SimulationEngine:
         for hook in self.hooks:
             hook.on_run_start(self)
 
-        while self.queue:
+        queue = self.queue
+        max_time = self.config.max_time
+        dispatch = self._dispatch
+        recycle = queue.recycle
+        while queue:
             if self._stop_requested:
                 break
-            event = self.queue.pop()
-            if event.time > self.config.max_time:
+            event = queue.pop()
+            if event.time > max_time:
                 self._stop_reason = "horizon"
                 break
             self._now = event.time
             if self._stop_deadline is not None and self._now >= self._stop_deadline:
                 break
-            self._dispatch(event)
+            dispatch(event)
+            recycle(event)
         final_time = min(self._now, self.config.max_time)
         self.metrics.on_finish(final_time)
         for hook in self.hooks:
@@ -340,22 +390,24 @@ class SimulationEngine:
                 self.config.check_interval, EventKind.ENGINE_CHECK
             )
 
-    def _dispatch(self, event: Event) -> None:
-        self.event_stats.count(event.kind)
-        if event.kind is EventKind.CRASH:
-            self._handle_crash(event)
-        elif event.kind is EventKind.RECEIVE:
+    def _dispatch(self, event: QueuedEvent) -> None:
+        kind = event.kind
+        self.event_stats.dispatched[kind] += 1
+        # Branches ordered by frequency: receives and ticks dominate.
+        if kind is EventKind.RECEIVE:
             self._handle_receive(event)
-        elif event.kind is EventKind.TICK:
+        elif kind is EventKind.TICK:
             self._handle_tick(event)
-        elif event.kind is EventKind.BROADCAST_REQUEST:
+        elif kind is EventKind.CRASH:
+            self._handle_crash(event)
+        elif kind is EventKind.BROADCAST_REQUEST:
             self._handle_broadcast_request(event)
-        elif event.kind is EventKind.ENGINE_CHECK:
+        elif kind is EventKind.ENGINE_CHECK:
             self._handle_engine_check(event)
         else:  # pragma: no cover - enum is exhaustive
             raise RuntimeError(f"unknown event kind {event.kind!r}")
 
-    def _handle_crash(self, event: Event) -> None:
+    def _handle_crash(self, event: QueuedEvent) -> None:
         index = event.target
         assert index is not None
         if index in self._crashed:
@@ -365,22 +417,28 @@ class SimulationEngine:
         for hook in self.hooks:
             hook.on_crash(self, index, self._now)
 
-    def _handle_receive(self, event: Event) -> None:
+    def _handle_receive(self, event: QueuedEvent) -> None:
         index = event.target
         assert index is not None
         if index in self._crashed:
             # The channel delivered the copy but the process is gone; a
             # crashed process executes no statements, so the copy is lost.
             return
-        kind = payload_kind(event.payload)
-        self.metrics.on_channel_deliver(self._now, index, kind)
-        self.trace.record(
-            self._now, TraceCategory.CHANNEL_DELIVER, index,
-            kind=kind, payload=event.payload,
-        )
-        self.processes[index].on_receive(event.payload)
+        payload = event.payload
+        metrics = self.metrics
+        trace = self.trace
+        if metrics.active or trace.channel_active:
+            kind = payload_kind(payload)
+            if metrics.active:
+                metrics.on_channel_deliver(self._now, index, kind)
+            if trace.channel_active:
+                trace.record(
+                    self._now, TraceCategory.CHANNEL_DELIVER, index,
+                    kind=kind, payload=payload,
+                )
+        self.processes[index].on_receive(payload)
 
-    def _handle_tick(self, event: Event) -> None:
+    def _handle_tick(self, event: QueuedEvent) -> None:
         index = event.target
         assert index is not None
         if index not in self._crashed:
@@ -391,7 +449,7 @@ class SimulationEngine:
             if next_tick <= self.config.max_time:
                 self.queue.schedule(next_tick, EventKind.TICK, target=index)
 
-    def _handle_broadcast_request(self, event: Event) -> None:
+    def _handle_broadcast_request(self, event: QueuedEvent) -> None:
         index = event.target
         assert index is not None
         if index in self._crashed:
@@ -402,7 +460,7 @@ class SimulationEngine:
         )
         self.processes[index].urb_broadcast(event.payload)
 
-    def _handle_engine_check(self, event: Event) -> None:
+    def _handle_engine_check(self, event: QueuedEvent) -> None:
         stop = self.config.stop
         satisfied = None
         if stop.stop_when_quiescent and self._quiescence_reached():
@@ -423,7 +481,7 @@ class SimulationEngine:
 
     # -- stop predicates --------------------------------------------------- #
     def _all_correct_delivered(self) -> bool:
-        expected = {cmd.content for cmd in self.workload}
+        expected = self._expected_contents
         if not expected:
             return False
         for index in self.crash_schedule.correct_indices():
@@ -434,11 +492,15 @@ class SimulationEngine:
 
     def _quiescence_reached(self) -> bool:
         # Every alive process has no retransmission obligation and nothing
-        # is in flight or still scheduled to be injected.
-        for index in self.alive_indices():
-            if self.processes[index].pending_retransmissions > 0:
-                return False
-        pending = self.queue.pending_by_kind()
-        if pending[EventKind.RECEIVE] or pending[EventKind.BROADCAST_REQUEST]:
+        # is in flight or still scheduled to be injected.  The pending-event
+        # counts are O(1) reads maintained by the queue.
+        queue = self.queue
+        if (queue.pending_of(EventKind.RECEIVE)
+                or queue.pending_of(EventKind.BROADCAST_REQUEST)):
             return False
+        crashed = self._crashed
+        processes = self.processes
+        for index in range(self.config.n_processes):
+            if index not in crashed and processes[index].pending_retransmissions > 0:
+                return False
         return True

@@ -19,6 +19,10 @@ from .simtime import SimTime, validate_time
 class EventKind(enum.Enum):
     """The kinds of events the engine knows how to dispatch."""
 
+    #: Dense index of the member (0..len-1), assigned after class creation;
+    #: used by the scheduler's O(1) pending counters.
+    slot: int
+
     #: A message (protocol payload) arrives at a process.
     RECEIVE = "receive"
     #: A retransmission round (the paper's Task 1 «repeat forever» loop).
@@ -32,6 +36,14 @@ class EventKind(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+# Dense per-kind index used by the scheduler's O(1) pending counters: a
+# plain attribute read plus a list index is markedly cheaper than hashing an
+# enum member on every push/pop (Enum.__hash__ is a Python-level call).
+for _slot, _kind in enumerate(EventKind):
+    _kind.slot = _slot
+del _slot, _kind
 
 
 @dataclass(frozen=True, slots=True)

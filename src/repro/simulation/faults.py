@@ -130,8 +130,19 @@ class CrashSchedule:
         return self.crash_time(index) <= time
 
     def correct_indices(self) -> tuple[int, ...]:
-        """Indices of the correct processes (paper's ``Correct`` set)."""
-        return tuple(i for i in range(self.n_processes) if self.is_correct(i))
+        """Indices of the correct processes (paper's ``Correct`` set).
+
+        Cached after the first call: the schedule is frozen, and failure
+        detectors read this set on every view query.
+        """
+        cached = self.__dict__.get("_correct_indices")
+        if cached is None:
+            crash_times = self.crash_times
+            cached = tuple(
+                i for i in range(self.n_processes) if i not in crash_times
+            )
+            object.__setattr__(self, "_correct_indices", cached)
+        return cached
 
     def faulty_indices(self) -> tuple[int, ...]:
         """Indices of the faulty processes (paper's ``Faulty`` set)."""

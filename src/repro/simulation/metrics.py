@@ -9,13 +9,29 @@ send timeline (the raw material for the quiescence figures).
 
 from __future__ import annotations
 
+import enum
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from .simtime import SimTime
+
+
+class MetricsLevel(enum.IntEnum):
+    """How much a :class:`MetricsCollector` records.
+
+    ``FULL`` (the default) reproduces the historic behaviour: aggregate
+    counters plus per-delivery latency samples and the cumulative send
+    timeline.  ``COUNTERS`` keeps only the O(1)-memory aggregate counters —
+    the right setting for large benchmark sweeps where per-event lists
+    would dominate memory and time.  ``OFF`` records nothing.
+    """
+
+    OFF = 0
+    COUNTERS = 1
+    FULL = 2
 
 
 @dataclass(slots=True)
@@ -79,9 +95,21 @@ class MetricsSummary:
 
 
 class MetricsCollector:
-    """Accumulates aggregate counters during a run."""
+    """Accumulates aggregate counters during a run.
 
-    def __init__(self) -> None:
+    The *level* knob (:class:`MetricsLevel`) gates the per-event lists:
+    at ``COUNTERS`` only O(1)-memory aggregates are kept, at ``OFF`` the
+    collector is a pure no-op.  The engine reads the plain boolean
+    ``active`` attribute before calling the recording hooks, so a disabled
+    collector costs one attribute read per event.
+    """
+
+    def __init__(self, level: MetricsLevel = MetricsLevel.FULL) -> None:
+        self._level = MetricsLevel(level)
+        #: Fast flag read by the engine before calling recording hooks.
+        self.active: bool = False
+        self._full: bool = False
+        self._refresh_flags()
         self.total_sends: int = 0
         self.total_drops: int = 0
         self.total_channel_deliveries: int = 0
@@ -94,44 +122,71 @@ class MetricsCollector:
         self.broadcast_times: dict[object, SimTime] = {}
         self.last_send_time: Optional[SimTime] = None
         self.final_time: SimTime = 0.0
+        self._deliveries: int = 0
+
+    def _refresh_flags(self) -> None:
+        self.active = self._level > MetricsLevel.OFF
+        self._full = self._level >= MetricsLevel.FULL
+
+    @property
+    def level(self) -> MetricsLevel:
+        """The recording level (see :class:`MetricsLevel`)."""
+        return self._level
+
+    @level.setter
+    def level(self, value: MetricsLevel) -> None:
+        self._level = MetricsLevel(value)
+        self._refresh_flags()
 
     # ------------------------------------------------------------------ #
     # recording hooks called by the engine
     # ------------------------------------------------------------------ #
     def on_send(self, time: SimTime, src: int, kind: str) -> None:
         """Record one protocol payload handed to one directed channel."""
+        if not self.active:
+            return
         self.total_sends += 1
         self.sends_by_kind[kind] += 1
         self.sends_by_process[src] += 1
         self.last_send_time = time
-        self.send_timeline.append((time, self.total_sends))
+        if self._full:
+            self.send_timeline.append((time, self.total_sends))
 
     def on_drop(self, time: SimTime, src: int, kind: str) -> None:
         """Record a channel drop."""
+        if not self.active:
+            return
         self.total_drops += 1
         self.drops_by_kind[kind] += 1
 
     def on_channel_deliver(self, time: SimTime, dst: int, kind: str) -> None:
         """Record a channel delivery (payload reached its destination)."""
-        self.total_channel_deliveries += 1
+        if self.active:
+            self.total_channel_deliveries += 1
 
     def on_urb_broadcast(self, time: SimTime, sender: int, content: object) -> None:
         """Record the application-level broadcast of *content*."""
+        if not self.active:
+            return
         # First broadcast time wins; re-broadcasting the same content is a
         # workload decision, and latency is measured from the first attempt.
         self.broadcast_times.setdefault(content, time)
 
     def on_urb_deliver(self, time: SimTime, process: int, content: object) -> None:
         """Record the URB-delivery of *content* at *process*."""
-        broadcast_time = self.broadcast_times.get(content, 0.0)
-        self.latency_samples.append(
-            LatencySample(
-                content=content,
-                process=process,
-                broadcast_time=broadcast_time,
-                deliver_time=time,
+        if not self.active:
+            return
+        self._deliveries += 1
+        if self._full:
+            broadcast_time = self.broadcast_times.get(content, 0.0)
+            self.latency_samples.append(
+                LatencySample(
+                    content=content,
+                    process=process,
+                    broadcast_time=broadcast_time,
+                    deliver_time=time,
+                )
             )
-        )
 
     def on_finish(self, time: SimTime) -> None:
         """Record the final simulated time of the run."""
@@ -143,7 +198,7 @@ class MetricsCollector:
     @property
     def deliveries(self) -> int:
         """Total number of URB-deliveries across all processes."""
-        return len(self.latency_samples)
+        return self._deliveries
 
     def latencies(self) -> np.ndarray:
         """Delivery latencies as a NumPy array (possibly empty)."""

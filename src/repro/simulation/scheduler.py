@@ -7,34 +7,109 @@ The queue enforces two invariants that the rest of the simulator relies on:
 * *Determinism* — events scheduled for the same instant are popped in the
   order they were pushed (FIFO tie-break via a monotonically increasing
   sequence counter).
+
+Hot-path design (see DESIGN.md §Performance):
+
+* The heap stores ``(time, seq, entry)`` tuples, so ``heapq`` orders events
+  with C-level tuple comparisons instead of calling a Python ``__lt__`` —
+  the single largest cost of the original implementation.  Sequence numbers
+  assigned by :meth:`EventQueue.schedule` are unique, so the comparison
+  never reaches the entry object.
+* Entries are mutable, slotted :class:`QueuedEvent` objects drawn from a
+  free list.  The engine returns each entry with :meth:`EventQueue.recycle`
+  after dispatching it, so steady-state simulation allocates no event
+  objects at all.
+* :meth:`EventQueue.drop_pending` uses *lazy deletion*: entries are marked
+  dead in place and skipped when they surface, instead of filtering and
+  re-heapifying the entire heap.
+* Pending-event counts per kind are maintained incrementally, making
+  :meth:`EventQueue.pending_by_kind` O(#kinds) instead of O(#pending) —
+  the engine's quiescence check reads it on every self-check event.
+
+None of this changes observable ordering: the pop order is still exactly
+``(time, seq)``, bit-identical to the original implementation.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Iterator, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Iterator, Optional, Union
 
 from .events import Event, EventKind
 from .simtime import SimTime, validate_time
+
+#: Upper bound on the entry free list; beyond this, popped entries are left
+#: to the garbage collector (prevents pathological growth after bursts).
+_MAX_POOL = 4096
+
+#: Compact the heap when dead entries outnumber live ones past this count.
+_COMPACT_THRESHOLD = 1024
 
 
 class SchedulingError(RuntimeError):
     """Raised when an event would violate the scheduler's invariants."""
 
 
+class QueuedEvent:
+    """A pooled, mutable scheduled event.
+
+    Exposes the same read surface as :class:`~repro.simulation.events.Event`
+    (``time``, ``seq``, ``kind``, ``target``, ``payload``, ``sort_key``,
+    ``describe``); unlike ``Event`` it is reused across schedule/pop cycles
+    by the queue's free list, so holders must not retain entries after
+    handing them to :meth:`EventQueue.recycle`.
+    """
+
+    __slots__ = ("time", "seq", "kind", "target", "payload", "alive")
+
+    def __init__(
+        self,
+        time: SimTime,
+        seq: int,
+        kind: EventKind,
+        target: Optional[int],
+        payload: Any,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.target = target
+        self.payload = payload
+        self.alive = True
+
+    @property
+    def sort_key(self) -> tuple[SimTime, int]:
+        """The total-order key used by the scheduler."""
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "QueuedEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in debug traces)."""
+        target = "engine" if self.target is None else f"p[{self.target}]"
+        return f"{self.kind.value}@{self.time:.4f}->{target}"
+
+
 class EventQueue:
-    """A deterministic priority queue of :class:`~repro.simulation.events.Event`.
+    """A deterministic priority queue of simulation events.
 
     The queue assigns sequence numbers itself; callers provide only the time,
     kind, target and payload.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: Heap of ``(time, seq, entry)`` tuples (may contain dead entries).
+        self._heap: list[tuple[SimTime, int, QueuedEvent]] = []
+        self._free: list[QueuedEvent] = []
         self._next_seq: int = 0
         self._last_popped_time: SimTime = 0.0
         self._pushed: int = 0
         self._popped: int = 0
+        self._live: int = 0
+        self._dead: int = 0
+        #: Live pending events per kind, indexed by ``EventKind.slot``.
+        self._pending: list[int] = [0] * len(EventKind)
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -45,7 +120,7 @@ class EventQueue:
         kind: EventKind,
         target: Optional[int] = None,
         payload: Any = None,
-    ) -> Event:
+    ) -> QueuedEvent:
         """Create and enqueue an event.
 
         Raises
@@ -54,66 +129,122 @@ class EventQueue:
             If *time* precedes the time of the last popped event (scheduling
             into the past would break causality).
         """
-        validate_time(time, name="scheduled time")
-        if time < self._last_popped_time:
-            raise SchedulingError(
-                f"cannot schedule event at t={time} before current "
-                f"simulation time t={self._last_popped_time}"
-            )
-        event = Event(
-            time=time, seq=self._next_seq, kind=kind, target=target, payload=payload
-        )
-        self._next_seq += 1
+        if not time >= self._last_popped_time:  # also catches NaN
+            if time >= 0.0:
+                raise SchedulingError(
+                    f"cannot schedule event at t={time} before current "
+                    f"simulation time t={self._last_popped_time}"
+                )
+            validate_time(time, name="scheduled time")
+        if target is not None and target < 0:
+            raise ValueError("event target must be a non-negative index")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry.time = time
+            entry.seq = seq
+            entry.kind = kind
+            entry.target = target
+            entry.payload = payload
+            entry.alive = True
+        else:
+            entry = QueuedEvent(time, seq, kind, target, payload)
+        heappush(self._heap, (time, seq, entry))
         self._pushed += 1
-        heapq.heappush(self._heap, event)
-        return event
+        self._live += 1
+        self._pending[kind.slot] += 1
+        return entry
 
-    def push_event(self, event: Event) -> None:
+    def push_event(self, event: Union[Event, QueuedEvent]) -> None:
         """Enqueue an already-constructed event (used in tests)."""
         if event.time < self._last_popped_time:
             raise SchedulingError(
                 f"cannot schedule event at t={event.time} before current "
                 f"simulation time t={self._last_popped_time}"
             )
+        entry = QueuedEvent(
+            event.time, event.seq, event.kind, event.target, event.payload
+        )
+        heappush(self._heap, (entry.time, entry.seq, entry))
         self._pushed += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
+        self._pending[entry.kind.slot] += 1
 
     # ------------------------------------------------------------------ #
     # consumption
     # ------------------------------------------------------------------ #
-    def pop(self) -> Event:
-        """Pop and return the earliest event.
+    def pop(self) -> QueuedEvent:
+        """Pop and return the earliest live event.
 
         Raises
         ------
         IndexError
             If the queue is empty.
         """
-        event = heapq.heappop(self._heap)
-        self._last_popped_time = event.time
-        self._popped += 1
-        return event
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)[2]
+            if entry.alive:
+                self._last_popped_time = entry.time
+                self._popped += 1
+                self._live -= 1
+                self._pending[entry.kind.slot] -= 1
+                return entry
+            self._dead -= 1
+            self._retire(entry)
+        raise IndexError("pop from an empty EventQueue")
 
-    def peek(self) -> Optional[Event]:
+    def _retire(self, entry: QueuedEvent) -> None:
+        """Drop an entry's references and pool it for reuse (if room)."""
+        if len(self._free) < _MAX_POOL:
+            entry.payload = None
+            entry.target = None
+            self._free.append(entry)
+
+    def recycle(self, entry: QueuedEvent) -> None:
+        """Return a popped entry to the free list.
+
+        Only the engine's dispatch loop calls this (immediately after it is
+        done with the event); external callers that retain popped events
+        simply never recycle them, which is always safe.
+        """
+        self._retire(entry)
+
+    def peek(self) -> Optional[QueuedEvent]:
         """Return (without removing) the earliest event, or ``None``."""
-        return self._heap[0] if self._heap else None
+        self._prune_dead_top()
+        heap = self._heap
+        return heap[0][2] if heap else None
 
     def peek_time(self) -> Optional[SimTime]:
         """Return the time of the earliest event, or ``None`` if empty."""
-        return self._heap[0].time if self._heap else None
+        self._prune_dead_top()
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def _prune_dead_top(self) -> None:
+        heap = self._heap
+        while heap and not heap[0][2].alive:
+            entry = heappop(heap)[2]
+            self._dead -= 1
+            self._retire(entry)
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._live > 0
 
-    def __iter__(self) -> Iterator[Event]:
-        """Iterate over pending events in time order (non-destructive)."""
-        return iter(sorted(self._heap))
+    def __iter__(self) -> Iterator[QueuedEvent]:
+        """Iterate over pending live events in time order (non-destructive)."""
+        return iter(
+            [item[2] for item in sorted(self._heap) if item[2].alive]
+        )
 
     @property
     def current_time(self) -> SimTime:
@@ -130,22 +261,54 @@ class EventQueue:
         """Total number of events ever popped."""
         return self._popped
 
+    @property
+    def pool_size(self) -> int:
+        """Current size of the entry free list (diagnostics/tests)."""
+        return len(self._free)
+
+    @property
+    def dead_count(self) -> int:
+        """Number of lazily-deleted entries still in the heap."""
+        return self._dead
+
     def pending_by_kind(self) -> dict[EventKind, int]:
-        """Return a histogram of pending events by kind (for diagnostics)."""
-        counts: dict[EventKind, int] = {kind: 0 for kind in EventKind}
-        for event in self._heap:
-            counts[event.kind] += 1
-        return counts
+        """Histogram of pending live events by kind (O(#kinds))."""
+        return {kind: self._pending[kind.slot] for kind in EventKind}
+
+    def pending_of(self, kind: EventKind) -> int:
+        """Number of pending live events of *kind* (O(1))."""
+        return self._pending[kind.slot]
 
     def drop_pending(self, kind: EventKind) -> int:
-        """Remove every pending event of *kind*; return how many were removed.
+        """Lazily remove every pending event of *kind*; return the count.
 
-        Used by early-stop logic to discard future ticks once a run has been
-        declared finished.
+        Entries are marked dead in place and skipped (and recycled) when
+        they reach the top of the heap; the heap is only physically rebuilt
+        when dead entries pile up past a threshold.
         """
-        kept = [event for event in self._heap if event.kind is not kind]
-        removed = len(self._heap) - len(kept)
+        removed = 0
+        for item in self._heap:
+            entry = item[2]
+            if entry.alive and entry.kind is kind:
+                entry.alive = False
+                entry.payload = None
+                removed += 1
         if removed:
-            heapq.heapify(kept)
-            self._heap = kept
+            self._live -= removed
+            self._dead += removed
+            self._pending[kind.slot] -= removed
+            if self._dead > _COMPACT_THRESHOLD and self._dead > self._live:
+                self._compact()
         return removed
+
+    def _compact(self) -> None:
+        """Physically drop dead entries (rare; amortised by the threshold)."""
+        kept = []
+        for item in self._heap:
+            if item[2].alive:
+                kept.append(item)
+            else:
+                self._retire(item[2])
+        heapify(kept)
+        self._heap = kept
+        self._dead = 0

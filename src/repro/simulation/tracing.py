@@ -17,6 +17,22 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 from .simtime import SimTime
 
 
+class TraceLevel(enum.IntEnum):
+    """How much a :class:`TraceRecorder` records.
+
+    Levels are cumulative: each level records everything the level below it
+    does.  ``FULL`` (the default) reproduces the historic behaviour exactly;
+    ``DELIVERIES`` keeps only protocol-level observables (broadcasts,
+    deliveries, crashes, retirements) and skips the per-copy channel events
+    that dominate trace size; ``OFF`` records nothing (equivalent to
+    ``enabled=False``).
+    """
+
+    OFF = 0
+    DELIVERIES = 1
+    FULL = 2
+
+
 class TraceCategory(enum.Enum):
     """Categories of observable run events."""
 
@@ -39,6 +55,19 @@ class TraceCategory(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+#: Minimum :class:`TraceLevel` at which each category is recorded.
+CATEGORY_LEVELS: dict[TraceCategory, TraceLevel] = {
+    TraceCategory.URB_BROADCAST: TraceLevel.DELIVERIES,
+    TraceCategory.URB_DELIVER: TraceLevel.DELIVERIES,
+    TraceCategory.CRASH: TraceLevel.DELIVERIES,
+    TraceCategory.RETIRE: TraceLevel.DELIVERIES,
+    TraceCategory.SEND: TraceLevel.FULL,
+    TraceCategory.DROP: TraceLevel.FULL,
+    TraceCategory.CHANNEL_DELIVER: TraceLevel.FULL,
+    TraceCategory.TICK: TraceLevel.FULL,
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,12 +104,55 @@ class TraceRecorder:
     The recorder can be disabled (``enabled=False``) for large benchmark
     runs where only aggregate metrics are needed; recording then becomes a
     no-op while counters in :class:`repro.simulation.metrics.MetricsCollector`
-    keep working.
+    keep working.  The *level* knob (:class:`TraceLevel`) offers a middle
+    ground: ``DELIVERIES`` keeps protocol-level observables while skipping
+    the per-copy channel events.
+
+    The engine gates its hot-path recording calls on the plain boolean
+    attributes ``channel_active`` / ``protocol_active`` so that disabled
+    categories cost a single attribute read per event — no keyword-dict
+    construction, no method call.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+    def __init__(self, enabled: bool = True,
+                 level: TraceLevel = TraceLevel.FULL) -> None:
+        self._enabled = bool(enabled)
+        self._level = TraceLevel(level)
         self._events: list[TraceEvent] = []
+        #: Fast flags read by the engine before building record() arguments.
+        self.channel_active: bool = False
+        self.protocol_active: bool = False
+        self._refresh_flags()
+
+    def _refresh_flags(self) -> None:
+        active = self._enabled and self._level > TraceLevel.OFF
+        self.protocol_active = active and self._level >= TraceLevel.DELIVERIES
+        self.channel_active = active and self._level >= TraceLevel.FULL
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the recorder records anything at all."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._refresh_flags()
+
+    @property
+    def level(self) -> TraceLevel:
+        """The recording level (see :class:`TraceLevel`)."""
+        return self._level
+
+    @level.setter
+    def level(self, value: TraceLevel) -> None:
+        self._level = TraceLevel(value)
+        self._refresh_flags()
+
+    def wants(self, category: TraceCategory) -> bool:
+        """Whether events of *category* would currently be recorded."""
+        return (self._enabled
+                and self._level >= CATEGORY_LEVELS[category])
 
     # ------------------------------------------------------------------ #
     # recording
@@ -92,8 +164,9 @@ class TraceRecorder:
         process: int,
         **details: Any,
     ) -> Optional[TraceEvent]:
-        """Append one event (no-op when the recorder is disabled)."""
-        if not self.enabled:
+        """Append one event (no-op when the recorder is disabled or the
+        category is gated out by the recording level)."""
+        if not self._enabled or self._level < CATEGORY_LEVELS[category]:
             return None
         event = TraceEvent(time=time, category=category, process=process,
                            details=details)
@@ -184,6 +257,29 @@ class TraceRecorder:
         for t in selected:
             counts[int(t // bucket)] += 1
         return [(i * bucket, counts[i]) for i in range(n_buckets)]
+
+    def digest(self) -> str:
+        """Stable SHA-256 digest of the recorded trace.
+
+        Two runs are considered bit-identical when their digests match; the
+        determinism parity tests compare digests across hot-path
+        configurations (see tests/unit/test_determinism_parity.py).
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for event in self._events:
+            h.update(
+                repr(
+                    (
+                        event.time,
+                        event.category.value,
+                        event.process,
+                        sorted(event.details.items()),
+                    )
+                ).encode("utf-8")
+            )
+        return h.hexdigest()
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Serialise the trace as a list of plain dictionaries."""

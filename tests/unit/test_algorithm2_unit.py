@@ -1,8 +1,6 @@
 """Unit tests for Algorithm 2 against a fake environment with scripted
 failure-detector views."""
 
-import pytest
-
 from helpers import FakeEnvironment
 from repro.core.algorithm2 import QuiescentUrbProcess
 from repro.core.messages import LabeledAckPayload, MsgPayload, TaggedMessage

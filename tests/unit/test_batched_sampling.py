@@ -1,0 +1,94 @@
+"""Unit tests for the vectorized (batched) loss and delay models."""
+
+import random
+
+import pytest
+
+from repro.network.delay import (
+    BatchedExponentialDelay,
+    BatchedUniformDelay,
+    DelaySpec,
+)
+from repro.network.loss import BatchedBernoulliLoss, LossSpec
+
+
+class TestBatchedBernoulliLoss:
+    def test_block_size_invariance(self):
+        """The same seed gives the same decision stream for any block size."""
+        a = BatchedBernoulliLoss(0.4, random.Random(7), block=1)
+        b = BatchedBernoulliLoss(0.4, random.Random(7), block=997)
+        decisions_a = [a.should_drop(0, 1, None) for _ in range(5000)]
+        decisions_b = [b.should_drop(0, 1, None) for _ in range(5000)]
+        assert decisions_a == decisions_b
+
+    def test_empirical_rate(self):
+        model = BatchedBernoulliLoss(0.3, random.Random(1), block=512)
+        drops = sum(model.should_drop(0, 1, None) for _ in range(20000))
+        assert 0.27 < drops / 20000 < 0.33
+
+    def test_degenerate_probabilities(self):
+        never = BatchedBernoulliLoss(0.0, random.Random(1))
+        always = BatchedBernoulliLoss(1.0, random.Random(1))
+        assert not any(never.should_drop(0, 1, None) for _ in range(100))
+        assert all(always.should_drop(0, 1, None) for _ in range(100))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            BatchedBernoulliLoss(1.5, random.Random(1))
+        with pytest.raises(ValueError):
+            BatchedBernoulliLoss(0.5, random.Random(1), block=0)
+
+    def test_spec_builds_batched_variant(self):
+        spec = LossSpec.bernoulli(0.2, batch=64)
+        model = spec.build(0, 1, random.Random(3))
+        assert isinstance(model, BatchedBernoulliLoss)
+        assert model.block == 64
+        assert "batched" in spec.describe()
+
+    def test_spec_without_batch_stays_scalar(self):
+        spec = LossSpec.bernoulli(0.2)
+        model = spec.build(0, 1, random.Random(3))
+        assert not isinstance(model, BatchedBernoulliLoss)
+        assert "batched" not in spec.describe()
+
+
+class TestBatchedDelays:
+    def test_uniform_block_size_invariance(self):
+        a = BatchedUniformDelay(random.Random(5), 0.1, 2.0, block=1)
+        b = BatchedUniformDelay(random.Random(5), 0.1, 2.0, block=313)
+        assert [a.sample() for _ in range(2000)] == [b.sample() for _ in range(2000)]
+
+    def test_uniform_bounds(self):
+        model = BatchedUniformDelay(random.Random(5), 0.1, 2.0, block=128)
+        for _ in range(1000):
+            assert 0.1 <= model.sample() <= 2.0
+
+    def test_exponential_block_size_invariance(self):
+        a = BatchedExponentialDelay(random.Random(5), mean=0.5, cap=3.0, block=1)
+        b = BatchedExponentialDelay(random.Random(5), mean=0.5, cap=3.0, block=450)
+        assert [a.sample() for _ in range(2000)] == [b.sample() for _ in range(2000)]
+
+    def test_exponential_clamping(self):
+        model = BatchedExponentialDelay(
+            random.Random(5), mean=0.5, cap=1.0, minimum=0.2, block=64
+        )
+        for _ in range(1000):
+            assert 0.2 <= model.sample() <= 1.0
+
+    def test_exponential_mean_roughly_right(self):
+        model = BatchedExponentialDelay(random.Random(11), mean=0.5, block=1024)
+        samples = [model.sample() for _ in range(20000)]
+        assert 0.45 < sum(samples) / len(samples) < 0.55
+
+    def test_specs_build_batched_variants(self):
+        uniform = DelaySpec.uniform(0.1, 1.0, batch=32).build(0, 1, random.Random(1))
+        expo = DelaySpec.exponential(0.4, cap=2.0, batch=32).build(
+            0, 1, random.Random(1)
+        )
+        assert isinstance(uniform, BatchedUniformDelay)
+        assert isinstance(expo, BatchedExponentialDelay)
+        assert uniform.block == expo.block == 32
+
+    def test_describe_mentions_batched(self):
+        assert "batched" in BatchedUniformDelay(random.Random(1)).describe()
+        assert "batched" in BatchedExponentialDelay(random.Random(1)).describe()

@@ -1,0 +1,176 @@
+"""Unit tests for the benchmark harness subsystem (benchmarks/harness.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness_under_test", REPO_ROOT / "benchmarks" / "harness.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules, so the
+    # module must be registered before execution.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def make_result(harness, name="dummy", events_per_sec=1000.0, **overrides):
+    kwargs = dict(
+        name=name,
+        wall_time_s=1.0,
+        events=int(events_per_sec),
+        events_per_sec=events_per_sec,
+        ops=10,
+        ops_per_sec=10.0,
+        peak_rss_kb=1024,
+        calibration_mops=1.0,
+        quick=True,
+    )
+    kwargs.update(overrides)
+    return harness.BenchResult(**kwargs)
+
+
+class TestBenchResult:
+    def test_normalized_score_divides_by_calibration(self, harness):
+        result = make_result(harness, events_per_sec=500.0, calibration_mops=2.0)
+        assert result.normalized_score == pytest.approx(250.0)
+
+    def test_as_dict_schema(self, harness):
+        data = make_result(harness).as_dict()
+        for key in (
+            "schema_version", "name", "wall_time_s", "events",
+            "events_per_sec", "ops", "ops_per_sec", "peak_rss_kb",
+            "normalized_score", "quick", "python", "platform", "meta",
+        ):
+            assert key in data
+
+    def test_write_emits_bench_json(self, harness, tmp_path):
+        path = make_result(harness, name="abc").write(tmp_path)
+        assert path.name == "BENCH_abc.json"
+        assert json.loads(path.read_text())["name"] == "abc"
+
+
+class TestBaselineCompare:
+    def test_regression_detected_beyond_tolerance(self, harness):
+        baseline = {"dummy": make_result(harness, events_per_sec=1000.0).as_dict()}
+        current = [make_result(harness, events_per_sec=700.0)]
+        comparisons = harness.compare_to_baseline(
+            current, baseline, tolerance=0.25
+        )
+        assert len(comparisons) == 1
+        assert comparisons[0].regressed
+
+    def test_within_tolerance_passes(self, harness):
+        baseline = {"dummy": make_result(harness, events_per_sec=1000.0).as_dict()}
+        current = [make_result(harness, events_per_sec=800.0)]
+        (comparison,) = harness.compare_to_baseline(
+            current, baseline, tolerance=0.25
+        )
+        assert not comparison.regressed
+
+    def test_improvement_passes(self, harness):
+        baseline = {"dummy": make_result(harness, events_per_sec=1000.0).as_dict()}
+        current = [make_result(harness, events_per_sec=2000.0)]
+        (comparison,) = harness.compare_to_baseline(current, baseline)
+        assert not comparison.regressed
+        assert comparison.ratio == pytest.approx(2.0)
+
+    def test_scenarios_missing_from_baseline_are_skipped(self, harness):
+        current = [make_result(harness, name="brand_new")]
+        assert harness.compare_to_baseline(current, {}) == []
+
+    def test_wall_time_fallback_for_experiment_scenarios(self, harness):
+        baseline = {
+            "exp": make_result(
+                harness, name="exp", events=0, events_per_sec=0.0,
+                wall_time_s=2.0,
+            ).as_dict()
+        }
+        slower = [
+            make_result(harness, name="exp", events=0, events_per_sec=0.0,
+                        wall_time_s=4.0)
+        ]
+        (comparison,) = harness.compare_to_baseline(
+            slower, baseline, tolerance=0.25
+        )
+        assert comparison.regressed
+
+    def test_wall_time_fallback_is_calibration_normalized(self, harness):
+        """Equal wall time on a machine half as fast is an improvement,
+        not a regression."""
+        baseline = {
+            "exp": make_result(
+                harness, name="exp", events=0, events_per_sec=0.0,
+                wall_time_s=2.0, calibration_mops=2.0,
+            ).as_dict()
+        }
+        current = [
+            make_result(harness, name="exp", events=0, events_per_sec=0.0,
+                        wall_time_s=2.0, calibration_mops=1.0)
+        ]
+        (comparison,) = harness.compare_to_baseline(
+            current, baseline, tolerance=0.25
+        )
+        assert not comparison.regressed
+        assert comparison.ratio == pytest.approx(2.0)
+
+    def test_save_and_load_roundtrip(self, harness, tmp_path):
+        path = tmp_path / "baseline.json"
+        harness.save_baseline(path, [make_result(harness, name="x")])
+        loaded = harness.load_baseline(path)
+        assert "x" in loaded
+        assert loaded["x"]["events_per_sec"] == 1000.0
+
+
+class TestRunBenchmark:
+    def test_registry_has_required_scenarios(self, harness):
+        for name in (
+            "quiescence_large_n", "flood_horizon", "lossy_channels",
+            "lossy_batched", "tracing_full", "event_queue_churn",
+        ):
+            assert name in harness.BENCH_SCENARIOS
+        assert len(harness.default_scenario_names()) >= 4
+
+    def test_run_benchmark_produces_normalized_result(self, harness):
+        harness.BENCH_SCENARIOS["_test_dummy"] = harness.BenchSpec(
+            name="_test_dummy",
+            description="test stub",
+            run=lambda quick: (0.5, 100, 10, {"quick": quick}),
+            default=False,
+        )
+        try:
+            result = harness.run_benchmark(
+                "_test_dummy", quick=True, calibration_mops=2.0
+            )
+        finally:
+            del harness.BENCH_SCENARIOS["_test_dummy"]
+        assert result.events_per_sec == pytest.approx(200.0)
+        assert result.normalized_score == pytest.approx(100.0)
+        assert result.meta["quick"] is True
+        assert result.meta["rss_delta_kb"] >= 0
+        assert result.peak_rss_kb > 0
+
+
+class TestBenchScript:
+    def test_bench_script_lists_scenarios(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"), "--list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "quiescence_large_n" in proc.stdout

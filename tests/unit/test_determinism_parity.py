@@ -1,0 +1,191 @@
+"""Determinism parity tests for the hot-path overhaul.
+
+The performance work (tuple-keyed pooled event queue, broadcast fast path,
+level-gated tracing/metrics, batched sampling) carries one invariant: under
+identical seeds, optimized paths must produce *bit-identical* traces,
+metrics summaries and delivery logs.  These tests pin that invariant by
+running the same scenario through different hot-path configurations and
+comparing full digests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scenario
+from repro.experiments.runner import build_engine
+from repro.network.delay import DelaySpec
+from repro.network.loss import LossSpec
+from repro.simulation.hooks import DeliveryTimelineHook
+from repro.simulation.metrics import MetricsCollector, MetricsLevel
+from repro.simulation.tracing import TraceLevel, TraceRecorder
+
+
+def run_engine(scenario: Scenario, **engine_overrides):
+    engine = build_engine(scenario)
+    for name, value in engine_overrides.items():
+        setattr(engine, name, value)
+    return engine.run()
+
+
+def fingerprint(result):
+    """Everything observable about a run, as a comparable value."""
+    return (
+        result.trace.digest(),
+        result.metrics_summary().as_dict(),
+        {i: log.contents() for i, log in result.delivery_logs.items()},
+        result.final_time,
+        result.stop_reason,
+        result.event_stats.as_dict(),
+    )
+
+
+BASE = Scenario(
+    name="parity",
+    algorithm="algorithm2",
+    n_processes=6,
+    seed=42,
+    loss=LossSpec.bernoulli(0.2),
+    delay=DelaySpec.uniform(0.05, 0.5),
+    crashes={5: 8.0},
+    workload="burst",
+    metadata={"burst_size": 6},
+    stop_when_quiescent=True,
+    drain_grace_period=2.0,
+    max_time=200.0,
+)
+
+
+class TestSameSeedParity:
+    def test_identical_runs_are_bit_identical(self):
+        assert fingerprint(run_engine(BASE)) == fingerprint(run_engine(BASE))
+
+    def test_algorithm1_runs_are_bit_identical(self):
+        scenario = BASE.with_(
+            algorithm="algorithm1",
+            crashes={},
+            stop_when_quiescent=False,
+            stop_when_all_correct_delivered=True,
+            max_time=60.0,
+        )
+        assert fingerprint(run_engine(scenario)) == fingerprint(run_engine(scenario))
+
+    def test_different_seeds_differ(self):
+        a = run_engine(BASE)
+        b = run_engine(BASE.with_seed(43))
+        assert a.trace.digest() != b.trace.digest()
+
+
+class TestGatingParity:
+    def test_metrics_identical_with_and_without_tracing(self):
+        """Disabling the trace recorder must not change metrics or logs."""
+        traced = run_engine(BASE)
+        untraced = run_engine(BASE.with_(trace_enabled=False))
+        assert (
+            traced.metrics_summary().as_dict()
+            == untraced.metrics_summary().as_dict()
+        )
+        assert {i: log.contents() for i, log in traced.delivery_logs.items()} == {
+            i: log.contents() for i, log in untraced.delivery_logs.items()
+        }
+        assert traced.final_time == untraced.final_time
+        assert traced.stop_reason == untraced.stop_reason
+        assert len(untraced.trace) == 0
+
+    def test_deliveries_trace_level_is_a_subset_of_full(self):
+        full = run_engine(BASE)
+        gated = run_engine(
+            BASE, trace=TraceRecorder(level=TraceLevel.DELIVERIES)
+        )
+        full_protocol = [
+            (e.time, e.category, e.process, dict(e.details))
+            for e in full.trace
+            if gated.trace.wants(e.category)
+        ]
+        gated_events = [
+            (e.time, e.category, e.process, dict(e.details))
+            for e in gated.trace
+        ]
+        assert full_protocol == gated_events
+        assert len(gated.trace) < len(full.trace)
+
+    def test_counters_metrics_level_matches_full_aggregates(self):
+        full = run_engine(BASE)
+        counters = run_engine(
+            BASE, metrics=MetricsCollector(level=MetricsLevel.COUNTERS)
+        )
+        full_summary = full.metrics_summary()
+        counters_summary = counters.metrics_summary()
+        assert counters_summary.total_sends == full_summary.total_sends
+        assert counters_summary.total_drops == full_summary.total_drops
+        assert counters_summary.deliveries == full_summary.deliveries
+        assert counters_summary.sends_by_kind == full_summary.sends_by_kind
+        assert counters_summary.last_send_time == full_summary.last_send_time
+        # Per-event lists are gated out at COUNTERS level.
+        assert counters.metrics.send_timeline == []
+        assert counters.metrics.latency_samples == []
+        assert counters_summary.mean_latency is None
+
+    def test_hooks_path_matches_fast_path(self):
+        """The hooked (legacy) broadcast path and the no-hooks fast path
+        must produce identical traces — an observation-only hook cannot
+        perturb the run."""
+        plain = run_engine(BASE)
+        hooked = run_engine(BASE.with_(hooks=(DeliveryTimelineHook(),)))
+        assert fingerprint(plain) == fingerprint(hooked)
+
+
+class TestBatchedSamplingParity:
+    @pytest.mark.parametrize("blocks", [(1, 4096), (7, 256)])
+    def test_block_size_does_not_change_the_run(self, blocks):
+        """NumPy streams are chunking-invariant: any two block sizes give
+        bit-identical runs."""
+        a_block, b_block = blocks
+        base = BASE.with_(
+            loss=LossSpec.bernoulli(0.2, batch=a_block),
+            delay=DelaySpec.exponential(mean=0.3, cap=4.0, batch=a_block),
+        )
+        other = BASE.with_(
+            loss=LossSpec.bernoulli(0.2, batch=b_block),
+            delay=DelaySpec.exponential(mean=0.3, cap=4.0, batch=b_block),
+        )
+        assert fingerprint(run_engine(base)) == fingerprint(run_engine(other))
+
+    def test_batched_uniform_matches_across_blocks(self):
+        base = BASE.with_(delay=DelaySpec.uniform(0.05, 0.5, batch=1))
+        other = BASE.with_(delay=DelaySpec.uniform(0.05, 0.5, batch=512))
+        assert fingerprint(run_engine(base)) == fingerprint(run_engine(other))
+
+    def test_batched_runs_are_seed_deterministic(self):
+        scenario = BASE.with_(
+            loss=LossSpec.bernoulli(0.2, batch=128),
+            delay=DelaySpec.exponential(mean=0.3, cap=4.0, batch=128),
+        )
+        assert fingerprint(run_engine(scenario)) == fingerprint(run_engine(scenario))
+
+
+class TestFastPathEdgeCases:
+    def test_no_loopback_fast_path_builds_no_self_channels(self):
+        """The broadcast fast path must not instantiate the src->src channel
+        when loopback is disabled (broadcast() never does)."""
+        from repro.network.fair_lossy import FairLossyChannelFactory
+        from repro.network.network import Network
+
+        network = Network(
+            3, FairLossyChannelFactory(), loopback_delivers=False
+        )
+        outcomes = network.broadcast_fast(0, "m", 0.0)
+        assert [dst for dst, _ in outcomes] == [1, 2]
+        assert (0, 0) not in network.channels
+
+    def test_metrics_level_setter_refreshes_fast_flags(self):
+        collector = MetricsCollector()
+        assert collector.active
+        collector.level = MetricsLevel.OFF
+        assert not collector.active
+        collector.on_send(1.0, 0, "MSG")
+        assert collector.total_sends == 0
+        collector.level = MetricsLevel.FULL
+        collector.on_send(1.0, 0, "MSG")
+        assert collector.total_sends == 1
+        assert collector.send_timeline == [(1.0, 1)]
