@@ -344,6 +344,39 @@ def _bench_event_queue_churn(quick: bool):
     return elapsed, total, total, {"pushed": pushed, "popped": popped}
 
 
+@register_bench(
+    "explore_quick",
+    "Schedule-explorer throughput: random-walk schedules over a small config",
+)
+def _bench_explore_quick(quick: bool):
+    from repro.explore import Explorer
+
+    budget = 40 if quick else 120
+    scenario = Scenario(
+        name="bench-explore-quick",
+        algorithm="algorithm1",
+        n_processes=4,
+        seed=11,
+        max_time=120.0,
+        stop_when_all_correct_delivered=True,
+        drain_grace_period=2.0,
+    )
+    explorer = Explorer(scenario, strategy="random_walk", budget=budget,
+                        parallel=1, shrink=False)
+    start = time.perf_counter()
+    report = explorer.run()
+    elapsed = time.perf_counter() - start
+    # events == ops == schedules, so events_per_sec (the gated normalized
+    # score) is explorer throughput in schedules/s.
+    meta = {
+        "budget": budget,
+        "schedules_run": report.schedules_run,
+        "unique_schedules": report.unique_schedules,
+        "counterexamples": len(report.counterexamples),
+    }
+    return elapsed, report.schedules_run, report.schedules_run, meta
+
+
 def _experiment_bench(module_name: str):
     """Wrap an experiment module (as driven by ``bench_<name>.py``)."""
 

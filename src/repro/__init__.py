@@ -41,10 +41,12 @@ from .experiments import (
     run_scenario,
     run_scenarios,
 )
+from .explore import ExplorationReport, Explorer, explore
 from .registry import (
     register_algorithm,
     register_channel,
     register_detector_setup,
+    register_strategy,
     register_workload,
 )
 from .simulation import (
@@ -75,11 +77,15 @@ __all__ = [
     "SimulationResult",
     "SuiteResult",
     "TaggedMessage",
+    "ExplorationReport",
+    "Explorer",
     "build_engine",
     "default_scenario",
+    "explore",
     "register_algorithm",
     "register_channel",
     "register_detector_setup",
+    "register_strategy",
     "register_workload",
     "replicate",
     "run_scenario",

@@ -169,6 +169,18 @@ def check_urb_properties(result: SimulationResult) -> UrbVerdict:
     )
 
 
+def violation_signature(verdict: UrbVerdict) -> tuple[str, ...]:
+    """Canonical signature of *which* properties a run violates.
+
+    The schedule explorer's shrinker uses signature equality as its notion
+    of "the same violation": a reduced schedule is accepted only while it
+    still violates exactly this set of properties (the violation *messages*
+    are allowed to differ — delivery counts and times legitimately change
+    as decisions are removed).
+    """
+    return tuple(v.name for v in verdict.verdicts() if not v.holds)
+
+
 # --------------------------------------------------------------------------- #
 # agreement among correct processes only (for the non-uniform baselines)
 # --------------------------------------------------------------------------- #

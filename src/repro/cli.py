@@ -18,6 +18,10 @@ Sub-commands
 ``sweep --field loss --values 0.0,0.2,0.4 [--seeds 3] [--parallel 4]``
     Declarative scenario sweep through the batch runner, optionally fanned
     out over worker processes.
+``explore --strategy random_walk --budget 200 [--parallel 4] [--artifacts D]``
+    Adversarial schedule exploration (see :mod:`repro.explore`): search the
+    space of admissible schedules for URB property violations, shrinking any
+    counterexample to a minimal replayable decision trace.
 
 The ``--algorithm`` choices everywhere come from the live algorithm registry,
 so protocols registered by plugin modules (imported via ``--plugin``) are
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from .analysis.tables import render_table
@@ -44,6 +49,8 @@ from .registry import (
     channels,
     detector_setups,
     get_algorithm,
+    strategies,
+    strategy_names,
     workloads,
 )
 
@@ -126,6 +133,48 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes (1 = sequential)")
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--max-time", type=float, default=150.0)
+
+    explore_parser = subparsers.add_parser(
+        "explore",
+        help="search the schedule space for URB property violations",
+        parents=[plugin_parent])
+    explore_parser.add_argument("--algorithm", choices=algorithm_names(),
+                                default="algorithm1")
+    explore_parser.add_argument("--strategy", choices=strategy_names(),
+                                default="random_walk")
+    explore_parser.add_argument("--budget", type=int, default=200,
+                                help="maximum schedules to run (enumerative "
+                                     "strategies cap this at their space size)")
+    explore_parser.add_argument("--parallel", type=int, default=1,
+                                help="worker processes (1 = sequential)")
+    explore_parser.add_argument("--n", type=int, default=4,
+                                help="number of processes")
+    explore_parser.add_argument("--loss", type=float, default=0.0,
+                                help="baseline Bernoulli loss probability; "
+                                     "only meaningful for strategies that "
+                                     "delegate loss to the channels (e.g. "
+                                     "crash_points) — decision-driven "
+                                     "strategies take --option "
+                                     "explore_drop_probability instead")
+    explore_parser.add_argument("--crashes", type=int, default=0,
+                                help="number of processes crashed at t=2")
+    explore_parser.add_argument("--seed", type=int, default=0)
+    explore_parser.add_argument("--max-time", type=float, default=150.0)
+    explore_parser.add_argument("--no-shrink", action="store_true",
+                                help="skip ddmin minimisation of counterexamples")
+    explore_parser.add_argument("--artifacts", type=str, default=None,
+                                metavar="DIR",
+                                help="write counterexample JSON artifacts here")
+    explore_parser.add_argument("--option", action="append", default=[],
+                                metavar="KEY=VALUE",
+                                help="strategy tunable placed in the scenario "
+                                     "metadata (e.g. explore_drop_probability"
+                                     "=0.4); repeatable")
+    explore_parser.add_argument("--expect-violation", action="store_true",
+                                help="invert the exit code: succeed only if a "
+                                     "violation is found and its shrunk "
+                                     "counterexample replays to the same "
+                                     "violation (self-test mode)")
     return parser
 
 
@@ -171,6 +220,13 @@ def _command_components() -> int:
         ["name", "description"],
         [[s.name, s.description] for s in workloads.specs()],
         title="Workload presets",
+    ))
+    print()
+    print(render_table(
+        ["name", "enumerative", "description"],
+        [[s.name, "yes" if s.enumerative else "no", s.description]
+         for s in strategies.specs()],
+        title="Exploration strategies",
     ))
     return 0
 
@@ -225,16 +281,8 @@ def _command_demo(args: argparse.Namespace) -> int:
     return 0 if result.all_properties_hold else 1
 
 
-def _parse_sweep_value(field: str, raw: str) -> Any:
-    """Parse one ``--values`` token for *field*.
-
-    ``loss`` floats become Bernoulli loss specs; other tokens are coerced to
-    bool (``true``/``false``), then int, then float, then kept as strings
-    (which covers registered workload names for ``--field workload``).
-    """
-    if field == "loss":
-        probability = float(raw)
-        return LossSpec.bernoulli(probability) if probability > 0 else LossSpec.none()
+def _coerce_token(raw: str) -> Any:
+    """Coerce a CLI value token: bool (``true``/``false``), int, float, str."""
     if raw.lower() in ("true", "false"):
         return raw.lower() == "true"
     for caster in (int, float):
@@ -243,6 +291,19 @@ def _parse_sweep_value(field: str, raw: str) -> Any:
         except ValueError:
             continue
     return raw
+
+
+def _parse_sweep_value(field: str, raw: str) -> Any:
+    """Parse one ``--values`` token for *field*.
+
+    ``loss`` floats become Bernoulli loss specs; other tokens go through the
+    standard coercion cascade (which covers registered workload names for
+    ``--field workload``).
+    """
+    if field == "loss":
+        probability = float(raw)
+        return LossSpec.bernoulli(probability) if probability > 0 else LossSpec.none()
+    return _coerce_token(raw)
 
 
 def _render_sweep_result(result: SuiteResult) -> str:
@@ -312,6 +373,87 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok and all_hold else 1
 
 
+def _parse_option_token(raw: str) -> tuple[str, Any]:
+    """Parse one ``--option KEY=VALUE`` token (bool, int, float, then str)."""
+    key, separator, value = raw.partition("=")
+    if not key or not separator:
+        raise ValueError(f"expected KEY=VALUE, got {raw!r}")
+    return key, _coerce_token(value)
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    from .explore import Explorer
+
+    if args.crashes >= args.n:
+        print("error: at least one process must remain correct", file=sys.stderr)
+        return 2
+    if args.loss > 0 and not strategies.get(args.strategy).extra.get(
+            "channel_loss", False):
+        # Decision-driven strategies never consult the channel loss model,
+        # so a baseline loss would be a silent no-op — reject it loudly.
+        print(
+            f"error: --loss has no effect with strategy {args.strategy!r} "
+            "(it decides every copy's fate itself); use "
+            "--option explore_drop_probability=... instead",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        metadata = dict(_parse_option_token(token) for token in args.option)
+    except ValueError as exc:
+        print(f"error: bad --option: {exc}", file=sys.stderr)
+        return 2
+    scenario = _base_scenario(args, f"explore-{args.algorithm}",
+                              loss=args.loss).with_(metadata=metadata)
+    try:
+        explorer = Explorer(
+            scenario=scenario,
+            strategy=args.strategy,
+            budget=args.budget,
+            parallel=args.parallel,
+            shrink=not args.no_shrink,
+            artifacts_dir=None if args.artifacts is None
+            else Path(args.artifacts),
+        )
+        report = explorer.run(
+            progress=lambda done, total, item: print(
+                f"\r{done}/{total} schedules explored", end="", file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(file=sys.stderr)
+    print(report.describe())
+    for counterexample in report.counterexamples:
+        if counterexample.artifact_path is not None:
+            print(f"  (artifact written to {counterexample.artifact_path})")
+    if args.expect_violation:
+        caught = bool(report.counterexamples)
+        if not caught:
+            print("error: expected a violation but none was found",
+                  file=sys.stderr)
+            return 1
+        if args.no_shrink:
+            # Without shrinking there is no replay to verify — only claim
+            # what actually happened.
+            print("expected violation found (shrinking disabled, replay "
+                  "not verified)")
+            return 0
+        # Shrinking ran: every counterexample must have produced a shrunk
+        # trace whose replay reproduced the same violation.  A missing
+        # shrunk trace means the sanity replay diverged — exactly the
+        # record/replay regression this self-test exists to catch.
+        if all(c.shrunk_verified for c in report.counterexamples):
+            print("expected violation found (and its shrunk counterexample "
+                  "replays to the same violation)")
+            return 0
+        print("error: expected a violation and found one, but a shrunk "
+              "counterexample failed to replay to the same violation",
+              file=sys.stderr)
+        return 1
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     # Import plugins before building the parser so their registrations
@@ -339,6 +481,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "explore":
+        return _command_explore(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -20,7 +20,7 @@ from ..network.delay import DelaySpec
 from ..network.fair_lossy import DEFAULT_FAIRNESS_BOUND
 from ..network.loss import LossSpec
 from ..failure_detectors.policies import DisseminationPolicy
-from ..registry import algorithms, channels, detector_setups, workloads
+from ..registry import algorithms, channels, detector_setups, strategies, workloads
 from ..simulation.hooks import EngineHook
 from ..workloads.base import Workload
 
@@ -81,6 +81,11 @@ class Scenario:
         Trace recording switches (disable for very large benchmark runs).
     hooks:
         Engine hooks (e.g. the impossibility adversary).
+    explore_strategy, explore_index:
+        Schedule exploration (see :mod:`repro.explore`): the name of a
+        registered exploration strategy driving the run's nondeterminism,
+        and which schedule of that strategy's space to execute.  ``None``
+        (the default) runs the ordinary RNG-driven schedule.
     metadata:
         Free-form metadata propagated to results and reports.
     """
@@ -121,6 +126,9 @@ class Scenario:
     trace_ticks: bool = False
     hooks: Sequence[EngineHook] = ()
 
+    explore_strategy: Optional[str] = None
+    explore_index: int = 0
+
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -132,6 +140,10 @@ class Scenario:
         detector_setups.validate(self.detector_setup)
         if isinstance(self.workload, str):
             workloads.validate(self.workload)
+        if self.explore_strategy is not None:
+            strategies.validate(self.explore_strategy)
+        if self.explore_index < 0:
+            raise ValueError("explore_index must be non-negative")
         if self.n_processes < 1:
             raise ValueError("n_processes must be positive")
         if self.tick_interval <= 0:

@@ -23,7 +23,7 @@ from ..analysis.properties import UrbVerdict, check_urb_properties
 from ..analysis.quiescence import QuiescenceReport, analyze_quiescence
 from ..core.interfaces import BroadcastProtocol
 from ..network.network import Network
-from ..registry import algorithms, channels, detector_setups, workloads
+from ..registry import algorithms, channels, detector_setups, strategies, workloads
 from ..simulation.config import SimulationConfig, StopConditions
 from ..simulation.engine import SimulationEngine, SimulationResult
 from ..simulation.environment import ProcessEnvironment
@@ -136,8 +136,28 @@ def build_workload(scenario: Scenario, random_source: RandomSource) -> Workload:
     return workload
 
 
-def build_engine(scenario: Scenario) -> SimulationEngine:
-    """Assemble the :class:`SimulationEngine` described by *scenario*."""
+def build_controller(scenario: Scenario):
+    """The scenario's schedule controller, or ``None`` for RNG-driven runs.
+
+    Resolved through the :data:`repro.registry.strategies` registry; the
+    strategy factory receives the scenario plus its ``explore_index`` (which
+    schedule of the strategy's space to execute).
+    """
+    if scenario.explore_strategy is None:
+        return None
+    spec = strategies.get(scenario.explore_strategy)
+    return spec.factory(scenario, scenario.explore_index)
+
+
+def build_engine(scenario: Scenario, *, controller=None) -> SimulationEngine:
+    """Assemble the :class:`SimulationEngine` described by *scenario*.
+
+    *controller* overrides the scenario's own ``explore_strategy`` wiring —
+    the replay path hands a pre-built
+    :class:`~repro.explore.controller.ReplayController` in directly.
+    """
+    if controller is None:
+        controller = build_controller(scenario)
     random_source = RandomSource(scenario.seed)
     crash_schedule = build_crash_schedule(scenario)
     network = build_network(scenario, random_source, crash_schedule)
@@ -167,6 +187,7 @@ def build_engine(scenario: Scenario) -> SimulationEngine:
         trace=TraceRecorder(enabled=scenario.trace_enabled),
         hooks=tuple(scenario.hooks),
         trace_ticks=scenario.trace_ticks,
+        controller=controller,
     )
 
 

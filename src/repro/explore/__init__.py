@@ -1,0 +1,85 @@
+"""Adversarial schedule exploration — search the schedule space for URB
+property violations.
+
+The repository's experiments sample one RNG-driven schedule per seed; this
+package *searches* the space of admissible schedules instead.  A
+:class:`~repro.explore.controller.ScheduleController` is consulted by the
+engine at its nondeterminism points (per-copy loss and delay, mid-broadcast
+crash timing, failure-detector query outcomes); pluggable strategies
+(:mod:`repro.explore.strategies`, registered in
+:data:`repro.registry.strategies`) generate controllers per schedule index;
+the :class:`~repro.explore.explorer.Explorer` fans them out over the batch
+runner, checks the three URB properties on every execution, deduplicates by
+decision-trace hash, and shrinks any violation to a minimal, replayable
+counterexample (ddmin).
+
+Quick use::
+
+    from repro import Scenario
+    from repro.explore import explore
+
+    report = explore(Scenario(algorithm="algorithm1", n_processes=4,
+                              max_time=120.0), strategy="random_walk",
+                     budget=200, parallel=4)
+    assert report.ok, report.describe()
+
+or from the command line: ``repro-urb explore --algorithm algorithm1
+--strategy random_walk --budget 200``.
+"""
+
+from .controller import (
+    CRASH,
+    DELIVER,
+    DROP,
+    FD,
+    Decision,
+    DefaultScheduleController,
+    RecordingController,
+    ReplayController,
+    ScheduleController,
+    hash_decisions,
+)
+from .explorer import (
+    Counterexample,
+    ExplorationReport,
+    Explorer,
+    explore,
+    replay_counterexample,
+    replay_decisions,
+)
+from .serialize import (
+    counterexample_to_dict,
+    load_counterexample,
+    scenario_from_dict,
+    scenario_to_dict,
+    write_counterexample,
+)
+from .shrink import ddmin
+from .strategies import crash_budget, delay_lattice
+
+__all__ = [
+    "CRASH",
+    "Counterexample",
+    "DELIVER",
+    "DROP",
+    "Decision",
+    "DefaultScheduleController",
+    "ExplorationReport",
+    "Explorer",
+    "FD",
+    "RecordingController",
+    "ReplayController",
+    "ScheduleController",
+    "counterexample_to_dict",
+    "crash_budget",
+    "ddmin",
+    "delay_lattice",
+    "explore",
+    "hash_decisions",
+    "load_counterexample",
+    "replay_counterexample",
+    "replay_decisions",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "write_counterexample",
+]

@@ -1,0 +1,72 @@
+"""Delta-debugging (ddmin) over schedule decision traces.
+
+Zeller's classic ddmin, specialised only in its vocabulary: *items* are the
+decisions of a violating schedule and the *failing* predicate replays a
+candidate subsequence (via :class:`~repro.explore.controller.ReplayController`)
+and reports whether the original violation signature reproduces.  Removing a
+decision shifts the remaining ones onto earlier nondeterminism points and
+lets the points past the end fall back to the run's deterministic RNG — so
+every candidate is itself a well-defined schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Replays are full (small) simulation runs; cap them so shrinking a noisy
+#: counterexample cannot dominate an exploration session.
+DEFAULT_MAX_TESTS = 200
+
+
+def ddmin(
+    items: Sequence[T],
+    failing: Callable[[list[T]], bool],
+    *,
+    max_tests: Optional[int] = DEFAULT_MAX_TESTS,
+) -> tuple[list[T], int]:
+    """Minimise *items* while ``failing(subset)`` stays true.
+
+    Parameters
+    ----------
+    items:
+        The failing input (``failing(list(items))`` must hold — the caller
+        is expected to have verified this; it is not re-tested here).
+    failing:
+        Predicate deciding whether a candidate subsequence still fails.
+    max_tests:
+        Upper bound on predicate invocations; when exhausted the best
+        reduction found so far is returned (``None`` = unlimited).
+
+    Returns
+    -------
+    (minimal, tests):
+        The 1-minimal (up to the test budget) failing subsequence and the
+        number of predicate invocations spent.
+    """
+    current = list(items)
+    tests = 0
+    granularity = 2
+    while len(current) >= 2:
+        chunk = len(current) / granularity
+        reduced = False
+        for position in range(granularity):
+            if max_tests is not None and tests >= max_tests:
+                return current, tests
+            start = int(position * chunk)
+            stop = int((position + 1) * chunk)
+            candidate = current[:start] + current[stop:]
+            if not candidate or len(candidate) == len(current):
+                continue
+            tests += 1
+            if failing(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, tests

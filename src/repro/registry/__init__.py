@@ -1,13 +1,15 @@
 """Pluggable component registries.
 
-This package is the library's extension surface.  Four registries map names
+This package is the library's extension surface.  Five registries map names
 to component specs; everything that used to be a hardcoded tuple or an
 ``if``/``elif`` dispatch chain now resolves through them:
 
 * :data:`algorithms` — broadcast protocols (``Scenario.algorithm``),
 * :data:`channels` — channel families (``Scenario.channel_type``),
 * :data:`detector_setups` — failure-detector wiring (``Scenario.detector_setup``),
-* :data:`workloads` — workload presets (``Scenario.workload`` by name).
+* :data:`workloads` — workload presets (``Scenario.workload`` by name),
+* :data:`strategies` — schedule-exploration strategies
+  (``Scenario.explore_strategy``; see :mod:`repro.explore`).
 
 Registering a component makes it a first-class citizen of
 :class:`~repro.experiments.config.Scenario` validation, the scenario runner,
@@ -34,7 +36,7 @@ perform third-party registrations; pass the registering module names as
 from __future__ import annotations
 
 import importlib
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .base import (
     DuplicateComponentError,
@@ -49,6 +51,8 @@ from .specs import (
     ChannelSpec,
     DetectorSetupFactory,
     DetectorSetupSpec,
+    StrategyFactory,
+    StrategySpec,
     WorkloadFactory,
     WorkloadSpec,
 )
@@ -60,6 +64,7 @@ __all__ = [
     "DuplicateComponentError",
     "Registry",
     "RegistryError",
+    "StrategySpec",
     "UnknownComponentError",
     "WorkloadSpec",
     "algorithm_names",
@@ -71,11 +76,15 @@ __all__ = [
     "get_algorithm",
     "get_channel",
     "get_detector_setup",
+    "get_strategy",
     "get_workload",
     "register_algorithm",
     "register_channel",
     "register_detector_setup",
+    "register_strategy",
     "register_workload",
+    "strategies",
+    "strategy_names",
     "workload_names",
     "workloads",
 ]
@@ -83,6 +92,12 @@ __all__ = [
 
 def _load_builtins() -> None:
     importlib.import_module(f"{__name__}.builtins")
+
+
+def _load_strategy_builtins() -> None:
+    # The built-in exploration strategies live with the explore subsystem
+    # (they are controllers first, registry entries second).
+    importlib.import_module("repro.explore.strategies")
 
 
 _HINT = "Register new components with the repro.registry.register_* decorators"
@@ -102,6 +117,10 @@ detector_setups: Registry[DetectorSetupSpec] = Registry(
 #: Workload presets, selectable by passing their name as ``Scenario.workload``.
 workloads: Registry[WorkloadSpec] = Registry(
     "workload", loader=_load_builtins, hint=_HINT
+)
+#: Schedule-exploration strategies, selectable via ``Scenario.explore_strategy``.
+strategies: Registry[StrategySpec] = Registry(
+    "exploration strategy", loader=_load_strategy_builtins, hint=_HINT
 )
 
 
@@ -190,6 +209,34 @@ def register_detector_setup(
     return decorator
 
 
+def register_strategy(
+    name: str,
+    *,
+    description: str = "",
+    enumerative: bool = False,
+    schedule_count: Optional[Callable[..., int]] = None,
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[StrategyFactory], StrategyFactory]:
+    """Register a ``(scenario, schedule_index) -> controller`` factory."""
+
+    def decorator(factory: StrategyFactory) -> StrategyFactory:
+        strategies.register(
+            StrategySpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                enumerative=enumerative,
+                schedule_count=schedule_count,
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
 def register_workload(
     name: str,
     *,
@@ -237,6 +284,11 @@ def workload_names() -> tuple[str, ...]:
     return workloads.names()
 
 
+def strategy_names() -> tuple[str, ...]:
+    """Registered exploration strategy names (built-ins first)."""
+    return strategies.names()
+
+
 def get_algorithm(name: str) -> AlgorithmSpec:
     """Spec of the algorithm registered as *name* (raises if unknown)."""
     return algorithms.get(name)
@@ -255,3 +307,8 @@ def get_detector_setup(name: str) -> DetectorSetupSpec:
 def get_workload(name: str) -> WorkloadSpec:
     """Spec of the workload preset registered as *name* (raises if unknown)."""
     return workloads.get(name)
+
+
+def get_strategy(name: str) -> StrategySpec:
+    """Spec of the exploration strategy registered as *name* (raises if unknown)."""
+    return strategies.get(name)

@@ -84,6 +84,40 @@ def _build_algorithm2(scenario: "Scenario", index: int,
     )
 
 
+class _NoRetransmitUrbProcess(MajorityUrbProcess):
+    """Algorithm 1 with Task 1 disabled — a deliberately broken mutant.
+
+    Without the «repeat forever» retransmission loop, channel fairness never
+    gets a second attempt to force delivery, so loss patterns exist in which
+    a correct broadcaster never collects a majority of acknowledgements.
+    The schedule explorer (see :mod:`repro.explore`) is expected to find
+    them; the exploration CI smoke job runs it with ``--expect-violation``
+    as an end-to-end self-test of the violation pipeline.
+    """
+
+    name = "algorithm1_noretx"
+
+    def on_tick(self) -> None:
+        return None
+
+
+@register_algorithm(
+    "algorithm1_noretx",
+    description="BROKEN mutant of Algorithm 1 (Task 1 retransmission "
+                "disabled) — schedule-explorer self-test target",
+    requires_majority=True,
+    broken=True,
+)
+def _build_algorithm1_noretx(scenario: "Scenario", index: int,
+                             env: "ProcessEnvironment") -> _NoRetransmitUrbProcess:
+    return _NoRetransmitUrbProcess(
+        env,
+        scenario.n_processes,
+        majority_threshold=scenario.majority_threshold,
+        eager_first_broadcast=scenario.eager_first_broadcast,
+    )
+
+
 @register_algorithm(
     "best_effort",
     description="Baseline: best-effort broadcast (no retransmission)",

@@ -13,6 +13,10 @@ needs to wire the component correctly without asking it anything else:
 * :class:`DetectorSetupSpec` — builds the ``(atheta, apstar)`` oracle pair.
 * :class:`WorkloadSpec` — builds a workload preset from the scenario, so
   sweeps can select workloads by (picklable) name.
+* :class:`StrategySpec` — builds a schedule-exploration controller from a
+  scenario and a schedule index (see :mod:`repro.explore`).  ``enumerative``
+  strategies additionally expose the size of their finite schedule space so
+  the explorer can cap its budget.
 
 Factories receive the full :class:`~repro.experiments.config.Scenario`, which
 keeps their signatures stable while letting implementations read whichever
@@ -28,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.interfaces import BroadcastProtocol
     from ..experiments.config import Scenario
+    from ..explore.controller import ScheduleController
     from ..failure_detectors.base import FailureDetector
     from ..simulation.environment import ProcessEnvironment
     from ..simulation.faults import CrashSchedule
@@ -52,6 +57,9 @@ DetectorSetupFactory = Callable[
 #: ``(scenario, rng) -> workload`` — *rng* is a dedicated substream of the
 #: run's master seed so randomised presets stay reproducible.
 WorkloadFactory = Callable[["Scenario", random.Random], "Workload"]
+
+#: ``(scenario, schedule_index) -> controller`` — one schedule per index.
+StrategyFactory = Callable[["Scenario", int], "ScheduleController"]
 
 
 @dataclass(frozen=True)
@@ -103,4 +111,24 @@ class WorkloadSpec:
     name: str
     factory: WorkloadFactory
     description: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A registered schedule-exploration strategy.
+
+    ``factory(scenario, schedule_index)`` builds the controller driving
+    schedule number *schedule_index* of the strategy's (seeded or
+    enumerated) schedule space.
+    """
+
+    name: str
+    factory: StrategyFactory
+    description: str = ""
+    #: The strategy enumerates a finite schedule space (vs. a seeded walk).
+    enumerative: bool = False
+    #: For enumerative strategies: ``schedule_count(scenario)`` — the size of
+    #: the space, used by the explorer to cap its budget.
+    schedule_count: Optional[Callable[["Scenario"], int]] = None
     extra: Mapping[str, Any] = field(default_factory=dict)

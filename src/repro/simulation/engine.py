@@ -13,8 +13,10 @@ entry points (``urb_broadcast``, ``on_receive``, ``on_tick``).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
 from ..core.delivery import DeliveryLog
 from ..core.interfaces import BroadcastProtocol
@@ -31,6 +33,60 @@ from .rng import RandomSource
 from .scheduler import EventQueue, QueuedEvent
 from .simtime import SimTime
 from .tracing import TraceCategory, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..explore.controller import ScheduleController
+
+#: Sentinel a :class:`~repro.explore.controller.ScheduleController` returns
+#: from ``copy_decision`` to crash the *sender* at that transmission point
+#: (the remaining copies of the broadcast are never handed to their channels,
+#: modelling a crash in the middle of the broadcast primitive).
+CRASH_SENDER: Any = object()
+
+
+def hash_decisions(decisions: Sequence[Sequence[Any]]) -> str:
+    """Canonical hash of a schedule's decision trace.
+
+    Two executions are *the same schedule* exactly when their decision traces
+    hash equally; the explorer deduplicates on this value and counterexample
+    artifacts carry it so a replay can be checked against its origin.
+    """
+    canonical = json.dumps(
+        [list(decision) for decision in decisions], separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleProvenance:
+    """Where a run's schedule came from — enough to replay it exactly.
+
+    Every :class:`SimulationResult` carries one.  For ordinary RNG-driven
+    runs the strategy is ``"default"`` and the decision trace is empty: the
+    run is reproduced by its scenario fields plus *seed* alone.  For runs
+    driven by a :class:`~repro.explore.controller.ScheduleController` the
+    trace holds every decision the controller took, so the run can be
+    replayed bit-identically from the artifact even when the strategy code
+    changes.
+    """
+
+    strategy: str
+    seed: int
+    schedule_index: int
+    decision_count: int
+    schedule_hash: str
+    decisions: tuple = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary (the decision list itself is serialised
+        separately by counterexample artifacts)."""
+        return {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "schedule_index": self.schedule_index,
+            "decision_count": self.decision_count,
+            "schedule_hash": self.schedule_hash,
+        }
 
 #: Factory building the protocol process for index ``i`` given its
 #: environment.  The index is provided so that *builders* (not the processes
@@ -53,6 +109,7 @@ class SimulationResult:
     final_time: SimTime
     stop_reason: str
     event_stats: EventStats = field(default_factory=EventStats)
+    schedule: Optional[ScheduleProvenance] = None
 
     @property
     def n_processes(self) -> int:
@@ -107,6 +164,11 @@ class SimulationEngine:
         Whether to record a trace event per retransmission round.  Disabled
         by default because tick events dominate trace size without adding
         information (sends are traced individually anyway).
+    controller:
+        Optional :class:`~repro.explore.controller.ScheduleController`
+        consulted at the run's nondeterminism points (per-copy loss/delay,
+        mid-broadcast crashes, failure-detector query outcomes).  ``None``
+        (the default) keeps the historic RNG-driven hot paths untouched.
     """
 
     def __init__(
@@ -123,6 +185,7 @@ class SimulationEngine:
         metrics: Optional[MetricsCollector] = None,
         hooks: Sequence[EngineHook] = (),
         trace_ticks: bool = False,
+        controller: Optional["ScheduleController"] = None,
     ) -> None:
         if network.n_processes != config.n_processes:
             raise ValueError(
@@ -147,6 +210,7 @@ class SimulationEngine:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.hooks: list[EngineHook] = list(hooks)
         self.trace_ticks = trace_ticks
+        self.controller = controller
 
         self.random_source = RandomSource(config.seed)
         # Re-seed the network's channel substreams from the run seed unless
@@ -161,6 +225,10 @@ class SimulationEngine:
         )
         self._now: SimTime = 0.0
         self._crashed: set[int] = set()
+        #: Crashes injected by the schedule controller (index -> time); they
+        #: are folded into the result's crash schedule so the property
+        #: checkers classify the victims as faulty.
+        self._forced_crashes: dict[int, SimTime] = {}
         self._stop_requested = False
         self._stop_reason = "horizon"
         self._stop_deadline: Optional[SimTime] = None
@@ -210,6 +278,9 @@ class SimulationEngine:
             return
         kind = payload_kind(payload)
         now = self._now
+        if self.controller is not None:
+            self._broadcast_controlled(src, payload, kind, now)
+            return
         if not self.hooks:
             metrics = self.metrics
             metrics_active = metrics.active
@@ -270,14 +341,91 @@ class SimulationEngine:
                     payload=payload,
                 )
 
+    def _broadcast_controlled(
+        self, src: int, payload: Any, kind: str, now: SimTime
+    ) -> None:
+        """Broadcast path taken when a schedule controller is installed.
+
+        Each copy's fate is the controller's ``copy_decision`` (an absolute
+        delivery time, ``None`` for a drop, or :data:`CRASH_SENDER` to crash
+        the sender mid-broadcast).  Decisions are collected first and
+        recorded after the ``on_send`` hooks, mirroring the hooked path; the
+        default controller delegates every decision to the channel itself,
+        so this path is bit-identical to the RNG-driven ones.
+        """
+        controller = self.controller
+        assert controller is not None
+        network = self.network
+        key = network.dedup_key(payload)
+        loopback = network.loopback_delivers
+        crash_src = False
+        planned: list[tuple[int, Optional[SimTime]]] = []
+        for dst in range(network.n_processes):
+            if dst == src and not loopback:
+                continue
+            channel = network.channel(src, dst)
+            decision = controller.copy_decision(
+                self, src, dst, payload, key, channel, now
+            )
+            if decision is CRASH_SENDER:
+                crash_src = True
+                break
+            planned.append((dst, decision))
+        for hook in self.hooks:
+            hook.on_send(self, src, payload, now)
+        metrics = self.metrics
+        metrics_active = metrics.active
+        trace = self.trace
+        trace_channel = trace.channel_active
+        schedule = self.queue.schedule
+        for dst, deliver_time in planned:
+            if metrics_active:
+                metrics.on_send(now, src, kind)
+            if trace_channel:
+                trace.record(
+                    now, TraceCategory.SEND, src,
+                    dst=dst, kind=kind, payload=payload,
+                )
+            if deliver_time is not None:
+                schedule(
+                    deliver_time, EventKind.RECEIVE,
+                    target=dst, payload=payload,
+                )
+            else:
+                if metrics_active:
+                    metrics.on_drop(now, src, kind)
+                if trace_channel:
+                    trace.record(
+                        now, TraceCategory.DROP, src,
+                        dst=dst, kind=kind, payload=payload,
+                    )
+        if crash_src:
+            self._crash_for_exploration(src)
+
+    def _crash_for_exploration(self, index: int) -> None:
+        """Crash *index* on a controller's decision, remembering the time so
+        the run's effective crash schedule reflects the injected fault."""
+        if index in self._crashed:
+            return
+        self._forced_crashes[index] = self._now
+        self.crash_now(index)
+
     def atheta_view(self, index: int) -> FailureDetectorView:
         """AΘ output for process *index* at the current time."""
+        if self.controller is not None:
+            view = self.controller.atheta_view(self, index, self._now)
+            if view is not None:
+                return view
         if self.atheta is None:
             return FailureDetectorView.empty()
         return self.atheta.view(index, self._now)
 
     def apstar_view(self, index: int) -> FailureDetectorView:
         """AP\\* output for process *index* at the current time."""
+        if self.controller is not None:
+            view = self.controller.apstar_view(self, index, self._now)
+            if view is not None:
+                return view
         if self.apstar is None:
             return FailureDetectorView.empty()
         return self.apstar.view(index, self._now)
@@ -330,6 +478,8 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return its result."""
+        if self.controller is not None:
+            self.controller.begin_run(self)
         self._seed_initial_events()
         for hook in self.hooks:
             hook.on_run_start(self)
@@ -354,9 +504,11 @@ class SimulationEngine:
         self.metrics.on_finish(final_time)
         for hook in self.hooks:
             hook.on_run_end(self, final_time)
+        provenance = self._schedule_provenance()
+        self.trace.header.update(provenance.as_dict())
         return SimulationResult(
             config=self.config,
-            crash_schedule=self.crash_schedule,
+            crash_schedule=self._effective_crash_schedule(),
             trace=self.trace,
             metrics=self.metrics,
             delivery_logs={
@@ -368,11 +520,42 @@ class SimulationEngine:
             final_time=final_time,
             stop_reason=self._stop_reason,
             event_stats=self.event_stats,
+            schedule=provenance,
         )
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _schedule_provenance(self) -> ScheduleProvenance:
+        controller = self.controller
+        if controller is None:
+            return ScheduleProvenance(
+                strategy="default",
+                seed=self.config.seed,
+                schedule_index=0,
+                decision_count=0,
+                schedule_hash=hash_decisions(()),
+            )
+        decisions = tuple(tuple(d) for d in controller.decisions)
+        return ScheduleProvenance(
+            strategy=getattr(controller, "strategy_name", type(controller).__name__),
+            seed=self.config.seed,
+            schedule_index=int(getattr(controller, "schedule_index", 0)),
+            decision_count=len(decisions),
+            schedule_hash=hash_decisions(decisions),
+            decisions=decisions,
+        )
+
+    def _effective_crash_schedule(self) -> CrashSchedule:
+        """The scenario's crash schedule plus any controller-injected
+        crashes (hook-driven :meth:`crash_now` calls are deliberately *not*
+        folded in — the impossibility adversary relies on its victims being
+        classified against the declared schedule)."""
+        if not self._forced_crashes:
+            return self.crash_schedule
+        merged = dict(self.crash_schedule.crash_times)
+        merged.update(self._forced_crashes)
+        return CrashSchedule.crash_at(self.crash_schedule.n_processes, merged)
     def _seed_initial_events(self) -> None:
         for index, crash_time in self.crash_schedule:
             self.queue.schedule(crash_time, EventKind.CRASH, target=index)
@@ -484,7 +667,12 @@ class SimulationEngine:
         expected = self._expected_contents
         if not expected:
             return False
+        forced = self._forced_crashes
         for index in self.crash_schedule.correct_indices():
+            if forced and index in forced:
+                # Controller-injected crash: the process is faulty in this
+                # run even though the declared schedule says correct.
+                continue
             delivered = self.processes[index].delivery_log.content_set()
             if not expected <= delivered:
                 return False

@@ -119,6 +119,11 @@ class TraceRecorder:
         self._enabled = bool(enabled)
         self._level = TraceLevel(level)
         self._events: list[TraceEvent] = []
+        #: Run-level metadata (schedule provenance: strategy, seed, decision
+        #: hash) written by the engine at the end of a run so serialised
+        #: traces carry everything needed to replay them.  Populated even
+        #: when event recording is disabled.
+        self.header: dict[str, Any] = {}
         #: Fast flags read by the engine before building record() arguments.
         self.channel_active: bool = False
         self.protocol_active: bool = False

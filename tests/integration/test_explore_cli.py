@@ -1,0 +1,128 @@
+"""CLI coverage for the ``explore`` subcommand and the strategies listing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestComponentsListsStrategies:
+    def test_components_lists_exploration_strategies(self, capsys):
+        assert main(["components"]) == 0
+        output = capsys.readouterr().out
+        assert "Exploration strategies" in output
+        for name in ("random_walk", "pct", "delay_bound", "crash_points"):
+            assert name in output
+
+
+class TestExploreCommand:
+    def test_clean_protocol_exits_zero(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1",
+            "--strategy", "random_walk", "--budget", "6", "--n", "4",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "explore(random_walk)" in output
+        assert "Validity: OK" in output
+
+    def test_broken_protocol_exits_nonzero_and_writes_artifacts(
+            self, capsys, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        code = main([
+            "explore", "--algorithm", "algorithm1_noretx",
+            "--strategy", "random_walk", "--budget", "25", "--n", "4",
+            "--max-time", "60", "--artifacts", str(artifacts),
+        ])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "COUNTEREXAMPLE" in output
+        written = list(artifacts.glob("counterexample_*.json"))
+        assert written
+        payload = json.loads(written[0].read_text())
+        assert payload["scenario"]["algorithm"] == "algorithm1_noretx"
+        assert payload["decisions"]
+
+    def test_expect_violation_inverts_exit_code(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1_noretx",
+            "--strategy", "random_walk", "--budget", "25", "--n", "4",
+            "--max-time", "60", "--expect-violation",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "expected violation found" in output
+
+    def test_expect_violation_without_shrink_does_not_claim_replay(
+            self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1_noretx",
+            "--strategy", "random_walk", "--budget", "25", "--n", "4",
+            "--max-time", "60", "--expect-violation", "--no-shrink",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "shrinking disabled, replay not verified" in output
+        assert "replays to the same violation" not in output
+
+    def test_expect_violation_fails_when_clean(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1",
+            "--strategy", "pct", "--budget", "4", "--n", "3",
+            "--expect-violation",
+        ])
+        assert code == 1
+
+    def test_strategy_options_forwarded_via_metadata(self, capsys):
+        # Forcing the drop probability to zero makes even the broken
+        # variant pass: every copy is delivered, so a majority of acks
+        # always arrives without retransmission.
+        code = main([
+            "explore", "--algorithm", "algorithm1_noretx",
+            "--strategy", "random_walk", "--budget", "6", "--n", "4",
+            "--max-time", "60",
+            "--option", "explore_drop_probability=0.0",
+            "--option", "explore_crash_probability=0.0",
+        ])
+        assert code == 0
+
+    def test_loss_rejected_for_decision_driven_strategies(self, capsys):
+        # random_walk decides every copy's fate itself; a baseline loss
+        # would silently change nothing, so the CLI refuses it.
+        code = main([
+            "explore", "--algorithm", "algorithm1",
+            "--strategy", "random_walk", "--budget", "4", "--loss", "0.3",
+        ])
+        assert code == 2
+        assert "explore_drop_probability" in capsys.readouterr().err
+
+    def test_loss_accepted_for_channel_delegating_strategies(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1",
+            "--strategy", "crash_points", "--budget", "6", "--n", "3",
+            "--loss", "0.1", "--option", "explore_crash_steps=2",
+        ])
+        assert code == 0
+
+    def test_bad_option_rejected(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1", "--option", "nonsense",
+        ])
+        assert code == 2
+        assert "bad --option" in capsys.readouterr().err
+
+    def test_impossible_crash_count_rejected(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm1", "--n", "3",
+            "--crashes", "3",
+        ])
+        assert code == 2
+
+    def test_empty_schedule_space_reports_error(self, capsys):
+        code = main([
+            "explore", "--algorithm", "algorithm2",
+            "--strategy", "crash_points", "--budget", "4", "--n", "3",
+        ])
+        assert code == 2
+        assert "crash_points requires" in capsys.readouterr().err

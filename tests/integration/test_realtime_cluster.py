@@ -117,6 +117,79 @@ class TestRealTimeAlgorithm2:
             assert len(deliveries) == len(set(deliveries))
 
 
+class TestRealTimeFaultTolerance:
+    """Message loss and mid-run crashes on the asyncio transport.
+
+    The discrete-event suite checks these regimes exhaustively; here the
+    point is that the *same protocol objects* survive them on a real-time
+    transport, so the configurations stay deliberately forgiving.
+    """
+
+    def test_algorithm1_delivers_under_loss_and_midrun_crash(self):
+        crashes = {N - 1: 0.15}
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            loss_probability=0.15, tick_interval=0.02, seed=21,
+            crash_after=crashes,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="ft-m1")],
+            duration=1.2,
+        )
+        correct = [index for index in range(N) if index not in crashes]
+        assert report.delivered_everywhere(["ft-m1"], correct)
+        assert report.drops > 0
+
+    def test_algorithm2_delivers_under_loss_and_midrun_crash(self):
+        crashes = {N - 1: 0.15}
+        atheta, apstar = make_detectors(crashes=crashes, seed=22)
+        cluster = RealTimeCluster(
+            N, lambda i, env: QuiescentUrbProcess(env),
+            loss_probability=0.15, tick_interval=0.02, seed=22,
+            atheta=atheta, apstar=apstar, crash_after=crashes,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="ft-m2")],
+            duration=1.2,
+        )
+        correct = [index for index in range(N) if index not in crashes]
+        assert report.delivered_everywhere(["ft-m2"], correct)
+        assert report.drops > 0
+        # At-most-once delivery survives retransmission under loss.
+        for deliveries in report.deliveries.values():
+            assert len(deliveries) == len(set(deliveries))
+
+    def test_crashed_sender_message_still_spreads(self):
+        # The sender crashes right after first dissemination; the receivers'
+        # Task 1 keeps relaying the message, so every correct process
+        # delivers it anyway (the paper's majority-relay argument).
+        crashes = {0: 0.05}
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            loss_probability=0.1, tick_interval=0.02, seed=23,
+            crash_after=crashes,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.0, sender=0, content="ft-m3")],
+            duration=1.2,
+        )
+        assert report.delivered_everywhere(["ft-m3"], range(1, N))
+
+    def test_initially_crashed_process_takes_no_steps(self):
+        crashes = {2: 0.0}
+        cluster = RealTimeCluster(
+            N, lambda i, env: MajorityUrbProcess(env, N),
+            tick_interval=0.02, seed=24, crash_after=crashes,
+        )
+        report = cluster.run_sync(
+            [RealTimeBroadcast(delay=0.1, sender=0, content="ft-m4")],
+            duration=1.0,
+        )
+        assert report.deliveries[2] == []
+        correct = [index for index in range(N) if index != 2]
+        assert report.delivered_everywhere(["ft-m4"], correct)
+
+
 class TestRealTimeValidation:
     def test_parameter_validation(self):
         factory = lambda i, env: MajorityUrbProcess(env, 3)  # noqa: E731

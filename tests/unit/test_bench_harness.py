@@ -142,9 +142,18 @@ class TestRunBenchmark:
         for name in (
             "quiescence_large_n", "flood_horizon", "lossy_channels",
             "lossy_batched", "tracing_full", "event_queue_churn",
+            "explore_quick",
         ):
             assert name in harness.BENCH_SCENARIOS
         assert len(harness.default_scenario_names()) >= 4
+
+    def test_explorer_throughput_is_regression_gated(self, harness):
+        # explore_quick must be in the default (CI) set AND have a committed
+        # baseline entry, otherwise compare_to_baseline silently skips it.
+        assert "explore_quick" in harness.default_scenario_names()
+        baseline = harness.load_baseline(harness.DEFAULT_BASELINE)
+        assert "explore_quick" in baseline
+        assert baseline["explore_quick"]["normalized_score"] > 0
 
     def test_run_benchmark_produces_normalized_result(self, harness):
         harness.BENCH_SCENARIOS["_test_dummy"] = harness.BenchSpec(

@@ -1,0 +1,231 @@
+"""Schedule-controller hook points: parity, provenance, replay, crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scenario
+from repro.experiments.runner import build_engine
+from repro.explore import (
+    CRASH,
+    DELIVER,
+    DROP,
+    DefaultScheduleController,
+    RecordingController,
+    ReplayController,
+    ScheduleController,
+    hash_decisions,
+)
+from repro.network.loss import LossSpec
+from repro.simulation.engine import CRASH_SENDER
+from repro.simulation.tracing import TraceCategory
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        name="controller-test",
+        algorithm="algorithm1",
+        n_processes=4,
+        seed=7,
+        max_time=120.0,
+        stop_when_all_correct_delivered=True,
+        drain_grace_period=2.0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestDefaultControllerParity:
+    """With the default controller, runs are bit-identical to PR 2 paths."""
+
+    @pytest.mark.parametrize("overrides", [
+        {},
+        {"loss": LossSpec.bernoulli(0.25), "crashes": {3: 4.0}},
+        {"algorithm": "algorithm2", "loss": LossSpec.bernoulli(0.15),
+         "stop_when_all_correct_delivered": False,
+         "stop_when_quiescent": True, "max_time": 250.0},
+    ])
+    def test_trace_and_metrics_identical(self, overrides):
+        scenario = _scenario(**overrides)
+        plain = build_engine(scenario).run()
+        controlled = build_engine(
+            scenario, controller=DefaultScheduleController()
+        ).run()
+        assert plain.trace.digest() == controlled.trace.digest()
+        assert (plain.metrics_summary().as_dict()
+                == controlled.metrics_summary().as_dict())
+        assert plain.final_time == controlled.final_time
+
+    def test_default_controller_parity_with_hooks(self):
+        from repro.simulation.hooks import EngineHook
+
+        class CountingHook(EngineHook):
+            def __init__(self):
+                self.sends = 0
+
+            def on_send(self, engine, src, payload, now):
+                self.sends += 1
+
+        scenario = _scenario(loss=LossSpec.bernoulli(0.2))
+        hook_a, hook_b = CountingHook(), CountingHook()
+        plain = build_engine(scenario.with_(hooks=(hook_a,))).run()
+        controlled = build_engine(
+            scenario.with_(hooks=(hook_b,)),
+            controller=DefaultScheduleController(),
+        ).run()
+        assert plain.trace.digest() == controlled.trace.digest()
+        assert hook_a.sends == hook_b.sends > 0
+
+
+class TestScheduleProvenance:
+    def test_default_run_records_provenance(self):
+        result = build_engine(_scenario()).run()
+        assert result.schedule is not None
+        assert result.schedule.strategy == "default"
+        assert result.schedule.seed == 7
+        assert result.schedule.decision_count == 0
+        assert result.schedule.decisions == ()
+
+    def test_trace_header_carries_provenance(self):
+        result = build_engine(_scenario()).run()
+        header = result.trace.header
+        assert header["strategy"] == "default"
+        assert header["seed"] == 7
+        assert header["schedule_hash"] == result.schedule.schedule_hash
+
+    def test_header_written_even_when_tracing_disabled(self):
+        result = build_engine(_scenario(trace_enabled=False)).run()
+        assert result.trace.header["strategy"] == "default"
+
+    def test_strategy_run_records_decisions(self):
+        scenario = _scenario(explore_strategy="random_walk", explore_index=3)
+        result = build_engine(scenario).run()
+        assert result.schedule.strategy == "random_walk"
+        assert result.schedule.schedule_index == 3
+        assert result.schedule.decision_count == len(result.schedule.decisions) > 0
+        assert result.schedule.schedule_hash == hash_decisions(
+            result.schedule.decisions
+        )
+
+    def test_hash_is_stable_and_order_sensitive(self):
+        decisions = (("deliver", 0.5), ("drop",), ("fd", 3, 1.0))
+        assert hash_decisions(decisions) == hash_decisions(list(decisions))
+        assert hash_decisions(decisions) != hash_decisions(decisions[::-1])
+        assert len(hash_decisions(())) == 16
+
+
+class _ScriptedController(RecordingController):
+    """Plays back a fixed list of choices (tests drive it directly)."""
+
+    def __init__(self, script, fairness_bound=None):
+        super().__init__("scripted", 0, fairness_bound=fairness_bound)
+        self._script = list(script)
+
+    def _choose_copy(self, engine, src, dst, payload, key, channel, now):
+        if self._script:
+            return self._script.pop(0)
+        return (DELIVER, 0.1)
+
+
+class TestRecordingController:
+    def test_fairness_guard_forces_delivery(self):
+        controller = _ScriptedController([(DROP,)] * 10, fairness_bound=2)
+        scenario = _scenario()
+        engine = build_engine(scenario, controller=controller)
+        engine.run()
+        # After 2 consecutive drops of the same (channel, key), the guard
+        # converts further drop choices into deliveries.
+        decisions = list(controller.decisions)
+        assert (DROP,) in decisions
+        kinds = [d[0] for d in decisions]
+        assert DELIVER in kinds
+
+    def test_unknown_decision_rejected(self):
+        controller = _ScriptedController([("warp", 1.0)])
+        with pytest.raises(ValueError, match="unknown copy decision"):
+            build_engine(_scenario(), controller=controller).run()
+
+
+class TestControllerCrashes:
+    def test_crash_sentinel_crashes_sender_mid_broadcast(self):
+        # Crash the sender at its second copy: exactly one SEND is recorded
+        # for the first broadcast and the victim is marked crashed.
+        controller = _ScriptedController([(DELIVER, 0.1), (CRASH,)])
+        engine = build_engine(_scenario())
+        engine.controller = controller
+        result = engine.run()
+        crashes = result.trace.filter(category=TraceCategory.CRASH)
+        assert crashes and crashes[0].process == 0
+        assert crashes[0].detail("forced") is True
+        first_time = crashes[0].time
+        sends_at_crash = [
+            e for e in result.trace.filter(category=TraceCategory.SEND)
+            if e.process == 0 and e.time == first_time
+        ]
+        assert len(sends_at_crash) == 1
+
+    def test_forced_crash_reflected_in_result_crash_schedule(self):
+        controller = _ScriptedController([(CRASH,)])
+        engine = build_engine(_scenario())
+        engine.controller = controller
+        result = engine.run()
+        assert not result.crash_schedule.is_correct(0)
+        assert 0 not in result.correct_indices()
+
+    def test_hook_crash_now_not_folded_into_schedule(self):
+        # The impossibility adversary's crash_now must keep the declared
+        # schedule: only controller decisions are folded in.
+        engine = build_engine(_scenario())
+        engine.crash_now(1)
+        result = engine.run()
+        assert result.crash_schedule.is_correct(1)
+
+
+class TestReplayController:
+    def test_replay_reproduces_strategy_run_bit_identically(self):
+        scenario = _scenario(explore_strategy="random_walk", explore_index=5)
+        original = build_engine(scenario).run()
+        replay = ReplayController(original.schedule.decisions)
+        replayed = build_engine(
+            scenario.with_(explore_strategy=None), controller=replay
+        ).run()
+        assert replayed.trace.digest() == original.trace.digest()
+        assert (replayed.schedule.schedule_hash
+                == original.schedule.schedule_hash)
+
+    def test_truncated_replay_falls_back_to_channel_rng(self):
+        scenario = _scenario(explore_strategy="random_walk", explore_index=5)
+        original = build_engine(scenario).run()
+        truncated = original.schedule.decisions[:4]
+        clean = scenario.with_(explore_strategy=None)
+        first = build_engine(
+            clean, controller=ReplayController(truncated)
+        ).run()
+        second = build_engine(
+            clean, controller=ReplayController(truncated)
+        ).run()
+        # Deterministic: the fallback draws the scenario's seeded channels.
+        assert first.trace.digest() == second.trace.digest()
+        assert first.schedule.decision_count >= len(truncated)
+
+    def test_replay_rejects_unknown_decisions(self):
+        with pytest.raises(ValueError, match="unknown decision"):
+            ReplayController([("warp", 1)])
+
+
+class TestBaseControllerInterface:
+    def test_base_controller_delegates_to_channel(self):
+        scenario = _scenario()
+        engine = build_engine(scenario)
+        controller = ScheduleController()
+        channel = engine.network.channel(0, 1)
+        outcome = controller.copy_decision(
+            engine, 0, 1, object(), "key", channel, 0.0
+        )
+        assert outcome is None or outcome >= 0.0
+        assert controller.decisions == ()
+        assert controller.atheta_view(engine, 0, 0.0) is None
+
+    def test_crash_sender_sentinel_identity(self):
+        # The sentinel is compared by identity in the engine loop.
+        assert CRASH_SENDER is not None

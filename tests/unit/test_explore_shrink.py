@@ -1,0 +1,42 @@
+"""ddmin over decision lists (pure predicate tests, no simulation)."""
+
+from __future__ import annotations
+
+from repro.explore.shrink import ddmin
+
+
+class TestDdmin:
+    def test_single_culprit_is_isolated(self):
+        items = list(range(40))
+        minimal, tests = ddmin(items, lambda subset: 17 in subset)
+        assert minimal == [17]
+        assert tests > 0
+
+    def test_pair_of_culprits(self):
+        items = list(range(32))
+        minimal, _ = ddmin(items, lambda s: 3 in s and 29 in s)
+        assert sorted(minimal) == [3, 29]
+
+    def test_order_preserved(self):
+        items = ["a", "b", "c", "d", "e", "f"]
+        minimal, _ = ddmin(items, lambda s: "e" in s and "b" in s)
+        assert minimal == ["b", "e"]
+
+    def test_everything_needed_returns_input(self):
+        items = [1, 2, 3, 4]
+        minimal, _ = ddmin(items, lambda s: len(s) == 4)
+        assert minimal == items
+
+    def test_budget_caps_tests(self):
+        items = list(range(1000))
+        minimal, tests = ddmin(items, lambda s: 999 in s, max_tests=5)
+        assert tests <= 5
+        assert 999 in minimal
+
+    def test_empty_and_singleton_inputs(self):
+        assert ddmin([], lambda s: True) == ([], 0)
+        assert ddmin([7], lambda s: True) == ([7], 0)
+
+    def test_unlimited_budget(self):
+        minimal, _ = ddmin(list(range(64)), lambda s: 10 in s, max_tests=None)
+        assert minimal == [10]
