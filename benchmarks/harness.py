@@ -377,6 +377,64 @@ def _bench_explore_quick(quick: bool):
     return elapsed, report.schedules_run, report.schedules_run, meta
 
 
+@register_bench(
+    "campaign_store",
+    "Result-store throughput: content hashing, puts, cache hits and queries",
+)
+def _bench_campaign_store(quick: bool):
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.campaigns import ResultStore, scenario_cell_key
+    from repro.experiments.runner import run_scenario
+
+    cells = 150 if quick else 400
+    # One real (untimed) simulation provides the payload; seed variants give
+    # each put a distinct content address, so the timed region measures pure
+    # store work (hash + compress + SQLite), not the simulator.
+    template = run_scenario(Scenario(
+        name="bench-campaign-store",
+        algorithm="algorithm2",
+        n_processes=4,
+        seed=0,
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=120.0,
+    ))
+    results = [
+        dataclasses.replace(template,
+                            scenario=template.scenario.with_seed(seed))
+        for seed in range(cells)
+    ]
+    root = Path(tempfile.mkdtemp(prefix="bench-campaign-store-"))
+    try:
+        with ResultStore(root) as store:
+            start = time.perf_counter()
+            keys = [scenario_cell_key(r.scenario) for r in results]
+            for key, result in zip(keys, results):
+                store.put(result, cell_key=key)
+            # The resume hot path: every cell answered from the index.
+            # (Plain check, not assert: python -O must not change the work
+            # the op count claims was measured.)
+            misses = sum(1 for key in keys if not store.contains(key))
+            if misses:
+                raise RuntimeError(f"{misses} stored cell(s) missed")
+            hit_rows = sum(1 for key in keys if store.get(key) is not None)
+            queried = len(store.query(algorithm="algorithm2"))
+            elapsed = time.perf_counter() - start
+            ops = 4 * cells  # hash + put + contains + get per cell
+            meta = {
+                "cells": cells,
+                "hits": store.hits,
+                "queried": queried,
+                "hit_rows": hit_rows,
+            }
+        return elapsed, ops, ops, meta
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _experiment_bench(module_name: str):
     """Wrap an experiment module (as driven by ``bench_<name>.py``)."""
 

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Campaign kill/resume smoke test (the CI `campaign` job).
+
+Drives the ``repro-urb campaign`` CLI the way an operator would:
+
+1. start a small sweep campaign as a subprocess and SIGKILL it mid-run;
+2. re-run the identical command with ``--resume`` and assert — via the
+   report's store-hit counters — that **zero** already-persisted cells were
+   recomputed;
+3. run the same sweep single-shot into a fresh store and assert the two
+   aggregate tables are byte-identical.
+
+Exits non-zero (with a diagnostic) on any violated invariant.  The store
+directory is left behind so CI can upload it as an artifact.
+
+Usage::
+
+    python scripts/campaign_smoke.py [--workdir campaign-smoke] [--parallel 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The sweep under test: 3 loss levels x 8 seeds = 24 cells.
+SWEEP_ARGS = [
+    "--algorithm", "algorithm2", "--n", "5", "--values", "0.0,0.1,0.2",
+    "--seeds", "8", "--max-time", "120",
+]
+
+REPORT_PATTERN = re.compile(
+    r"(\d+) cell\(s\) — (\d+) cached, (\d+) executed"
+)
+
+
+def campaign_command(store: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "campaign", "run",
+        "--store", str(store), "--name", "smoke", *SWEEP_ARGS, *extra,
+    ]
+
+
+def run_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def stored_cells(store: Path) -> int:
+    index = store / "index.sqlite"
+    if not index.exists():
+        return 0
+    with sqlite3.connect(index) as db:
+        return int(db.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+
+def fail(message: str) -> "int":
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def extract_table(output: str) -> str:
+    """The aggregate table portion of a `campaign run` stdout."""
+    index = output.find("configuration")
+    if index < 0:
+        raise ValueError(f"no aggregate table in output:\n{output}")
+    return output[index:].rstrip()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", type=Path,
+                        default=Path("campaign-smoke"),
+                        help="directory for the two stores (kept for CI "
+                             "artifact upload)")
+    parser.add_argument("--parallel", type=int, default=2,
+                        help="worker processes for the killed/resumed run")
+    args = parser.parse_args(argv)
+
+    workdir: Path = args.workdir
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    killed_store = workdir / "killed"
+    fresh_store = workdir / "single-shot"
+    env = run_env()
+
+    # ------------------------------------------------------------------ #
+    # 1. start the campaign and SIGKILL it once a few cells are persisted
+    # ------------------------------------------------------------------ #
+    print(f"starting campaign (parallel={args.parallel}), will SIGKILL "
+          "mid-run...")
+    process = subprocess.Popen(
+        campaign_command(killed_store, "--parallel", str(args.parallel)),
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            break
+        if stored_cells(killed_store) >= 4:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+            break
+        time.sleep(0.02)
+    else:
+        process.kill()
+        return fail("first run neither persisted cells nor finished in time")
+    surviving = stored_cells(killed_store)
+    if process.returncode == 0 and surviving == 24:
+        # Too fast to kill on this machine — still a valid resume test
+        # (the resumed run must then recompute nothing at all).
+        print("note: first run completed before the kill landed")
+    print(f"first run stopped (rc={process.returncode}); "
+          f"{surviving} cell(s) persisted")
+    if surviving == 0:
+        return fail("kill landed before any cell was persisted")
+
+    # ------------------------------------------------------------------ #
+    # 2. resume: every surviving cell must be a cache hit, none recomputed
+    # ------------------------------------------------------------------ #
+    resumed = subprocess.run(
+        campaign_command(killed_store, "--parallel", str(args.parallel),
+                         "--resume"),
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    if resumed.returncode != 0:
+        return fail(f"resume run failed (rc={resumed.returncode}):\n"
+                    f"{resumed.stdout}\n{resumed.stderr}")
+    match = REPORT_PATTERN.search(resumed.stdout)
+    if match is None:
+        return fail(f"no campaign report in resume output:\n{resumed.stdout}")
+    total, cached, executed = map(int, match.groups())
+    print(f"resume report: {total} cells, {cached} cached, "
+          f"{executed} executed")
+    if total != 24:
+        return fail(f"expected 24 cells, saw {total}")
+    if cached != surviving:
+        return fail(
+            f"{surviving} cell(s) survived the kill but only {cached} were "
+            "cache hits — persisted work was recomputed"
+        )
+    if executed != total - surviving:
+        return fail(
+            f"expected exactly {total - surviving} executions, saw "
+            f"{executed} — resume is not exact"
+        )
+
+    # ------------------------------------------------------------------ #
+    # 3. single-shot run in a fresh store: identical aggregate table
+    # ------------------------------------------------------------------ #
+    single = subprocess.run(
+        campaign_command(fresh_store),
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if single.returncode != 0:
+        return fail(f"single-shot run failed (rc={single.returncode}):\n"
+                    f"{single.stdout}\n{single.stderr}")
+    resumed_table = extract_table(resumed.stdout)
+    single_table = extract_table(single.stdout)
+    if resumed_table != single_table:
+        return fail(
+            "aggregate tables differ between the killed+resumed campaign "
+            f"and the single-shot campaign:\n--- resumed ---\n"
+            f"{resumed_table}\n--- single-shot ---\n{single_table}"
+        )
+    print("aggregate table identical to the single-shot run:")
+    print(single_table)
+    print("SMOKE OK: resume recomputed zero persisted cells and aggregates "
+          "are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,13 @@ from .experiments import (
     run_scenario,
     run_scenarios,
 )
+from .campaigns import (
+    Campaign,
+    CampaignReport,
+    ResultStore,
+    run_campaign,
+    scenario_cell_key,
+)
 from .explore import ExplorationReport, Explorer, explore
 from .registry import (
     register_algorithm,
@@ -62,6 +69,9 @@ __version__ = "1.0.0"
 __all__ = [
     "BatchRunner",
     "BestEffortBroadcastProcess",
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
     "BroadcastCommand",
     "BroadcastProtocol",
     "CrashSchedule",
@@ -88,7 +98,9 @@ __all__ = [
     "register_strategy",
     "register_workload",
     "replicate",
+    "run_campaign",
     "run_scenario",
     "run_scenarios",
+    "scenario_cell_key",
     "__version__",
 ]

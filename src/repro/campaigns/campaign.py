@@ -1,0 +1,260 @@
+"""Resumable, sharded campaign execution over a persistent result store.
+
+A :class:`Campaign` binds a declarative
+:class:`~repro.experiments.batch.ScenarioSuite` to a
+:class:`~repro.campaigns.store.ResultStore`:
+
+* the suite is expanded into *cells*, each content-addressed by
+  :func:`~repro.campaigns.hashing.scenario_cell_key`;
+* cells already in the store are **skipped** (a store hit — never
+  recomputed, whether they came from a previous run of this campaign, a
+  killed run, or an entirely different campaign that happened to cover the
+  same configuration);
+* the remainder is sharded over
+  :class:`~repro.experiments.batch.BatchRunner` (``parallel=N`` fans shards
+  over the process pool) and every result is persisted the moment it
+  completes, so a SIGKILL loses at most the simulations in flight;
+* re-running the same campaign resumes exactly where it stopped: the cells
+  persisted before the kill are hits, and only the missing ones execute.
+
+Because runs are bit-determined by their scenario, aggregates queried from
+the store are bit-identical to a single-shot in-memory sweep of the same
+suite — the test suite asserts this float-for-float.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..experiments.batch import (
+    BatchFailure,
+    BatchRunner,
+    ScenarioSuite,
+    SuiteItem,
+    normalise_suite,
+)
+from ..experiments.config import Scenario
+from ..experiments.runner import ScenarioResult
+from .hashing import scenario_cell_key
+from .store import ResultStore, StoredRow
+
+#: ``progress(done, total, item)`` over the *pending* (not cached) cells.
+ProgressCallback = Callable[[int, int, SuiteItem], None]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of one :meth:`Campaign.run` invocation.
+
+    The counters are the resume guarantee made measurable: ``cached`` cells
+    were answered by the store without simulating, ``executed`` cells ran;
+    running a complete campaign again must report ``executed == 0``.
+    """
+
+    name: str
+    store_root: Path
+    items: tuple[SuiteItem, ...]
+    cell_keys: tuple[str, ...]
+    cached: int
+    executed: int
+    duplicates: int
+    failures: tuple[BatchFailure, ...]
+    parallel: int
+    elapsed_seconds: float
+
+    @property
+    def total(self) -> int:
+        """Number of scheduled cells (suite positions)."""
+        return len(self.items)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell now has a stored result."""
+        return not self.failures
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        return (
+            f"campaign {self.name!r}: {self.total} cell(s) — "
+            f"{self.cached} cached, {self.executed} executed, "
+            f"{self.duplicates} duplicate(s), {len(self.failures)} failed "
+            f"({self.elapsed_seconds:.2f}s, parallel={self.parallel})"
+        )
+
+
+class Campaign:
+    """One named, resumable sweep over a result store.
+
+    Parameters
+    ----------
+    store:
+        The persistent store results are read from / written to.
+    suite:
+        A :class:`ScenarioSuite`, pre-built :class:`SuiteItem` sequence, or
+        iterable of scenarios (each its own group).
+    name:
+        Campaign name recorded in the store (defaults to the suite name).
+        Reusing a name requires ``resume=True`` on :meth:`run` and an
+        identical suite expansion.
+    parallel:
+        Worker processes per shard (see :class:`BatchRunner`).
+    shard_size:
+        Cells per checkpointed shard.  Results are persisted per-completion
+        either way; the shard boundary only bounds how much of a
+        :class:`SuiteResult` is held in memory at once.  Defaults to
+        ``max(4 * parallel, 16)``.
+    worker_plugins:
+        Modules each worker imports first (third-party registrations).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        suite: Union[ScenarioSuite, Iterable[Scenario], Sequence[SuiteItem]],
+        *,
+        name: Optional[str] = None,
+        parallel: int = 1,
+        shard_size: Optional[int] = None,
+        worker_plugins: Sequence[str] = (),
+    ) -> None:
+        self.store = store
+        self.suite_name, self.items = normalise_suite(suite)
+        self.name = name or self.suite_name
+        if parallel < 1:
+            raise ValueError("parallel must be at least 1")
+        self.parallel = parallel
+        self.shard_size = shard_size or max(4 * parallel, 16)
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        self.worker_plugins = tuple(worker_plugins)
+
+    # ------------------------------------------------------------------ #
+    def cell_keys(self) -> tuple[str, ...]:
+        """Content address of every scheduled cell, in suite order."""
+        return tuple(scenario_cell_key(item.scenario) for item in self.items)
+
+    def run(
+        self,
+        *,
+        resume: bool = False,
+        recompute: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignReport:
+        """Execute (or resume) the campaign; see the module docs.
+
+        ``recompute=True`` ignores and overwrites stored cells — the escape
+        hatch after a code change that deliberately alters results without
+        changing scenarios (the hash cannot see code).
+        """
+        started = time.perf_counter()
+        keys = self.cell_keys()
+        self.store.register_campaign(
+            self.name,
+            self.suite_name,
+            [(item.index, item.group, key)
+             for item, key in zip(self.items, keys)],
+            resume=resume or recompute,
+        )
+
+        pending: list[SuiteItem] = []
+        pending_keys: dict[int, str] = {}
+        seen: set[str] = set()
+        cached = 0
+        duplicates = 0
+        for item, key in zip(self.items, keys):
+            # Duplicate positions are classified first so the counters are
+            # stable across runs: a cell scheduled twice is always 1
+            # cached-or-executed + 1 duplicate, whether or not it was
+            # already stored.
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            if not recompute and self.store.contains(key):
+                cached += 1
+                continue
+            pending.append(item)
+            pending_keys[item.index] = key
+
+        failures: list[BatchFailure] = []
+        done = 0
+
+        def persist(item: SuiteItem, result: ScenarioResult) -> None:
+            self.store.put(result, cell_key=pending_keys[item.index])
+
+        for shard_start in range(0, len(pending), self.shard_size):
+            shard = pending[shard_start:shard_start + self.shard_size]
+
+            def shard_progress(shard_done: int, _shard_total: int,
+                               item: SuiteItem,
+                               *, base: int = done) -> None:
+                if progress is not None:
+                    progress(base + shard_done, len(pending), item)
+
+            runner = BatchRunner(
+                parallel=self.parallel,
+                progress=shard_progress,
+                on_result=persist,
+                worker_plugins=self.worker_plugins,
+            )
+            outcome = runner.run(shard)
+            done += len(shard)
+            for failure in outcome.failures:
+                # Batch positions are shard-relative; report suite positions.
+                failures.append(BatchFailure(
+                    index=shard[failure.index].index,
+                    group=failure.group,
+                    scenario=failure.scenario,
+                    error=failure.error,
+                    details=failure.details,
+                ))
+
+        return CampaignReport(
+            name=self.name,
+            store_root=self.store.root,
+            items=self.items,
+            cell_keys=keys,
+            cached=cached,
+            executed=len(pending) - len(failures),
+            duplicates=duplicates,
+            failures=tuple(failures),
+            parallel=self.parallel,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    def rows(self) -> list[Optional[StoredRow]]:
+        """Stored rows for every scheduled cell (suite order; ``None`` for
+        cells not yet computed)."""
+        return [self.store.get(key, count=False) for key in self.cell_keys()]
+
+
+def run_campaign(
+    store: Union[ResultStore, str, Path],
+    suite: Union[ScenarioSuite, Iterable[Scenario], Sequence[SuiteItem]],
+    *,
+    name: Optional[str] = None,
+    parallel: int = 1,
+    resume: bool = False,
+    recompute: bool = False,
+    shard_size: Optional[int] = None,
+    worker_plugins: Sequence[str] = (),
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """One-call convenience wrapper: open/create the store and run.
+
+    When *store* is a path, the store handle is closed before returning.
+    """
+    if isinstance(store, (str, Path)):
+        with ResultStore(store) as handle:
+            return Campaign(
+                handle, suite, name=name, parallel=parallel,
+                shard_size=shard_size, worker_plugins=worker_plugins,
+            ).run(resume=resume, recompute=recompute, progress=progress)
+    return Campaign(
+        store, suite, name=name, parallel=parallel, shard_size=shard_size,
+        worker_plugins=worker_plugins,
+    ).run(resume=resume, recompute=recompute, progress=progress)

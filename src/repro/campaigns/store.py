@@ -1,0 +1,842 @@
+"""The persistent result store: SQLite index + compressed JSON blobs.
+
+A :class:`ResultStore` is a directory::
+
+    store/
+      index.sqlite    -- queryable index (results, campaigns, artifacts)
+      blobs/ab/ab…cd.json.z  -- one zlib-compressed JSON blob per result
+
+The index holds one row per *cell* (content-addressed by
+:func:`~repro.campaigns.hashing.scenario_cell_key`) with the columns the
+query layer filters and aggregates on; the blob holds everything the export
+layer records about the run (scenario round-trip, verdict, quiescence,
+metrics, deliveries, schedule provenance).  Counterexamples found by the
+schedule explorer are first-class artifacts in the same store, keyed by
+their schedule hash.
+
+Durability model
+----------------
+``put`` writes the blob to a temporary file, renames it into place, then
+commits the index row — so a SIGKILL at any point leaves either a fully
+recorded cell or (at worst) an orphan blob, which :meth:`ResultStore.gc`
+removes.  The index row is the source of truth: a cell exists iff its row
+does.
+
+Schema versioning
+-----------------
+``SCHEMA_VERSION`` is stamped into the index ``meta`` table at creation and
+into every blob.  Opening a store written by a different schema raises
+:class:`SchemaMismatchError` — campaigns never silently mix layouts.
+
+Hit accounting
+--------------
+The store counts ``hits`` (lookups that found a cell), ``misses`` and
+``puts`` per open handle.  The campaign runner's resume guarantee — *zero
+duplicate simulations* — is asserted straight off these counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
+
+from ..experiments.config import Scenario
+from ..experiments.export import provenance_from_dict, scenario_result_to_dict
+from ..explore.serialize import counterexample_to_dict, scenario_from_dict
+from .hashing import canonical_scenario_dict, scenario_cell_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.runner import ScenarioResult
+    from ..explore.explorer import Counterexample
+
+#: Bump when the index or blob layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_INDEX_NAME = "index.sqlite"
+_BLOB_DIR = "blobs"
+
+
+class StoreError(RuntimeError):
+    """Base class for result-store failures."""
+
+
+class SchemaMismatchError(StoreError):
+    """The on-disk store was written under a different schema version."""
+
+
+@dataclass(frozen=True)
+class StoredRow:
+    """One indexed cell — the queryable summary of a stored result.
+
+    Exposes the same accessors the CLI's aggregation code reads off a live
+    :class:`~repro.experiments.runner.ScenarioResult` (``all_properties_
+    hold``, ``mean_latency``, ``quiescent``), so table adapters work
+    uniformly over live and stored data.
+    """
+
+    cell_key: str
+    name: str
+    algorithm: str
+    channel_type: str
+    detector_setup: str
+    workload: Optional[str]
+    n_processes: int
+    n_crashes: int
+    seed: int
+    loss_kind: str
+    loss_level: Optional[float]
+    delay_kind: str
+    explore_strategy: Optional[str]
+    explore_index: int
+    all_hold: bool
+    quiescent: bool
+    anonymity_passed: bool
+    stop_reason: str
+    final_time: float
+    mean_latency: Optional[float]
+    total_sends: int
+    deliveries: int
+    schedule_strategy: str
+    schedule_hash: str
+    created_at: float
+
+    @property
+    def all_properties_hold(self) -> bool:
+        """Alias matching :class:`ScenarioResult` for shared aggregation."""
+        return self.all_hold
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """Summary of one registered campaign: planned vs completed cells."""
+
+    name: str
+    suite_name: str
+    total: int
+    done: int
+    created_at: float
+    updated_at: float
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned cell has a stored result."""
+        return self.done >= self.total
+
+
+@dataclass(frozen=True)
+class CounterexampleRow:
+    """One stored counterexample artifact (index view).
+
+    ``artifact_id`` is the store's primary key — a hash of the scenario's
+    canonical form *plus* the schedule hash, because the schedule hash
+    alone only identifies a decision trace, which different scenarios can
+    share.
+    """
+
+    artifact_id: str
+    schedule_hash: str
+    strategy: str
+    algorithm: str
+    signature: tuple[str, ...]
+    shrunk_verified: bool
+    created_at: float
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What one :meth:`ResultStore.gc` pass removed."""
+
+    orphan_blobs: int
+    missing_blobs: int
+    dropped_results: int
+
+    def describe(self) -> str:
+        """One-line summary for the CLI."""
+        return (
+            f"gc: removed {self.orphan_blobs} orphan blob(s), dropped "
+            f"{self.dropped_results} unreferenced result(s), repaired "
+            f"{self.missing_blobs} index row(s) whose blob had vanished"
+        )
+
+
+def _loss_level(scenario: Scenario) -> Optional[float]:
+    """Representative numeric loss level for query convenience.
+
+    Bernoulli's probability is the common sweep axis; other kinds have no
+    single scalar and map to ``None`` (query them by ``loss_kind``).
+    """
+    if scenario.loss.kind == "bernoulli":
+        return float(scenario.loss.params.get("probability", 0.0))
+    if scenario.loss.kind == "none":
+        return 0.0
+    return None
+
+
+class ResultStore:
+    """Content-addressed persistence for scenario results and artifacts.
+
+    Parameters
+    ----------
+    root:
+        The store directory (created if missing unless ``create=False``).
+    create:
+        When false, a missing store raises :class:`StoreError` instead of
+        being initialised — the CLI's read verbs use this so a typoed path
+        fails loudly.
+    """
+
+    def __init__(self, root: str | Path, *, create: bool = True) -> None:
+        self.root = Path(root)
+        index_path = self.root / _INDEX_NAME
+        if not create and not index_path.exists():
+            raise StoreError(f"no result store at {self.root}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            (self.root / _BLOB_DIR).mkdir(exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot use {self.root} as a result store: {exc}"
+            ) from exc
+        self._db = sqlite3.connect(index_path)
+        self._db.row_factory = sqlite3.Row
+        #: Lookups that found a stored cell (per open handle).
+        self.hits = 0
+        #: Lookups that found nothing.
+        self.misses = 0
+        #: Results written through this handle.
+        self.puts = 0
+        try:
+            self._init_schema()
+        except BaseException:
+            self._db.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _init_schema(self) -> None:
+        # Version check BEFORE any DDL: a store written under a different
+        # schema must raise cleanly, not be mutated towards this layout (or
+        # crash mid-script on an incompatible table).
+        has_meta = self._db.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND "
+            "name = 'meta'"
+        ).fetchone() is not None
+        if has_meta:
+            recorded = self._db.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if recorded is not None and int(recorded["value"]) != SCHEMA_VERSION:
+                raise SchemaMismatchError(
+                    f"store at {self.root} has schema version "
+                    f"{recorded['value']}, this library writes version "
+                    f"{SCHEMA_VERSION}"
+                )
+        with self._db:
+            self._db.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS meta (
+                    key TEXT PRIMARY KEY,
+                    value TEXT NOT NULL
+                );
+                CREATE TABLE IF NOT EXISTS results (
+                    cell_key TEXT PRIMARY KEY,
+                    name TEXT NOT NULL,
+                    algorithm TEXT NOT NULL,
+                    channel_type TEXT NOT NULL,
+                    detector_setup TEXT NOT NULL,
+                    workload TEXT,
+                    n_processes INTEGER NOT NULL,
+                    n_crashes INTEGER NOT NULL,
+                    seed INTEGER NOT NULL,
+                    loss_kind TEXT NOT NULL,
+                    loss_level REAL,
+                    delay_kind TEXT NOT NULL,
+                    explore_strategy TEXT,
+                    explore_index INTEGER NOT NULL,
+                    all_hold INTEGER NOT NULL,
+                    quiescent INTEGER NOT NULL,
+                    anonymity_passed INTEGER NOT NULL,
+                    stop_reason TEXT NOT NULL,
+                    final_time REAL NOT NULL,
+                    mean_latency REAL,
+                    total_sends INTEGER NOT NULL,
+                    deliveries INTEGER NOT NULL,
+                    schedule_strategy TEXT NOT NULL,
+                    schedule_hash TEXT NOT NULL,
+                    schema_version INTEGER NOT NULL,
+                    created_at REAL NOT NULL
+                );
+                CREATE INDEX IF NOT EXISTS idx_results_algorithm
+                    ON results (algorithm);
+                CREATE INDEX IF NOT EXISTS idx_results_loss
+                    ON results (loss_kind, loss_level);
+                CREATE TABLE IF NOT EXISTS campaigns (
+                    name TEXT PRIMARY KEY,
+                    suite_name TEXT NOT NULL,
+                    total INTEGER NOT NULL,
+                    created_at REAL NOT NULL,
+                    updated_at REAL NOT NULL
+                );
+                CREATE TABLE IF NOT EXISTS campaign_cells (
+                    campaign TEXT NOT NULL,
+                    position INTEGER NOT NULL,
+                    group_label TEXT NOT NULL,
+                    cell_key TEXT NOT NULL,
+                    PRIMARY KEY (campaign, position)
+                );
+                CREATE INDEX IF NOT EXISTS idx_campaign_cells_key
+                    ON campaign_cells (cell_key);
+                CREATE TABLE IF NOT EXISTS artifacts (
+                    artifact_id TEXT PRIMARY KEY,
+                    schedule_hash TEXT NOT NULL,
+                    strategy TEXT NOT NULL,
+                    algorithm TEXT NOT NULL,
+                    signature TEXT NOT NULL,
+                    shrunk_verified INTEGER NOT NULL,
+                    payload BLOB NOT NULL,
+                    schema_version INTEGER NOT NULL,
+                    created_at REAL NOT NULL
+                );
+                """
+            )
+            self._db.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+
+    def close(self) -> None:
+        """Close the underlying SQLite handle."""
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # blobs
+    # ------------------------------------------------------------------ #
+    def _blob_path(self, cell_key: str) -> Path:
+        return self.root / _BLOB_DIR / cell_key[:2] / f"{cell_key}.json.z"
+
+    def _write_blob(self, cell_key: str, payload: dict[str, Any]) -> None:
+        path = self._blob_path(cell_key)
+        path.parent.mkdir(exist_ok=True)
+        data = zlib.compress(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _read_blob(self, cell_key: str) -> dict[str, Any]:
+        path = self._blob_path(cell_key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise StoreError(
+                f"blob for cell {cell_key} is missing from {self.root} "
+                "(run `repro-urb campaign gc` to repair the index)"
+            ) from None
+        return json.loads(zlib.decompress(raw).decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def put(self, result: "ScenarioResult", *,
+            cell_key: Optional[str] = None) -> StoredRow:
+        """Persist one finished scenario result; returns its index row.
+
+        Re-putting an existing cell overwrites it (the content hash
+        guarantees the payload is equivalent, so this is only reachable via
+        an explicit ``recompute``).
+        """
+        scenario = result.scenario
+        key = cell_key or scenario_cell_key(scenario)
+        provenance = result.simulation.schedule
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "cell_key": key,
+            "scenario": canonical_scenario_dict(scenario),
+            "result": scenario_result_to_dict(result),
+            "created_at": time.time(),
+        }
+        self._write_blob(key, payload)
+        summary = result.metrics
+        with self._db:
+            self._db.execute(
+                """
+                INSERT OR REPLACE INTO results (
+                    cell_key, name, algorithm, channel_type, detector_setup,
+                    workload, n_processes, n_crashes, seed, loss_kind,
+                    loss_level, delay_kind, explore_strategy, explore_index,
+                    all_hold, quiescent, anonymity_passed, stop_reason,
+                    final_time, mean_latency, total_sends, deliveries,
+                    schedule_strategy, schedule_hash, schema_version,
+                    created_at
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
+                          ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    key,
+                    scenario.name,
+                    scenario.algorithm,
+                    scenario.channel_type,
+                    scenario.detector_setup,
+                    scenario.workload if isinstance(scenario.workload, str)
+                    else None,
+                    scenario.n_processes,
+                    scenario.n_crashes,
+                    scenario.seed,
+                    scenario.loss.kind,
+                    _loss_level(scenario),
+                    scenario.delay.kind,
+                    scenario.explore_strategy,
+                    scenario.explore_index,
+                    int(result.all_properties_hold),
+                    int(result.quiescence.quiescent),
+                    int(result.anonymity.passed),
+                    result.simulation.stop_reason,
+                    float(result.simulation.final_time),
+                    summary.mean_latency,
+                    summary.total_sends,
+                    summary.deliveries,
+                    provenance.strategy if provenance is not None else "default",
+                    provenance.schedule_hash if provenance is not None else "",
+                    SCHEMA_VERSION,
+                    payload["created_at"],
+                ),
+            )
+        self.puts += 1
+        row = self.get(cell_key=key, count=False)
+        assert row is not None
+        return row
+
+    def contains(self, cell_key: str, *, count: bool = True) -> bool:
+        """Whether a result for *cell_key* is stored (counts hit/miss)."""
+        found = self._db.execute(
+            "SELECT 1 FROM results WHERE cell_key = ?", (cell_key,)
+        ).fetchone() is not None
+        if count:
+            if found:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return found
+
+    def __contains__(self, cell_key: object) -> bool:
+        return isinstance(cell_key, str) and self.contains(cell_key,
+                                                           count=False)
+
+    def get(self, cell_key: str, *, count: bool = True) -> Optional[StoredRow]:
+        """The index row for *cell_key*, or ``None``."""
+        row = self._db.execute(
+            "SELECT * FROM results WHERE cell_key = ?", (cell_key,)
+        ).fetchone()
+        if count:
+            if row is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return None if row is None else self._row_to_stored(row)
+
+    def load(self, cell_key: str) -> dict[str, Any]:
+        """The full stored payload of one cell, scenario rebuilt live.
+
+        The mapping mirrors the blob: ``scenario`` is a live
+        :class:`Scenario`, ``result`` the export-layer dict with
+        ``schedule`` rebuilt into a
+        :class:`~repro.simulation.engine.ScheduleProvenance`.
+        """
+        payload = self._read_blob(cell_key)
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"blob for cell {cell_key} has schema version "
+                f"{payload.get('schema_version')}, expected {SCHEMA_VERSION}"
+            )
+        payload["scenario"] = scenario_from_dict(payload["scenario"])
+        payload["result"]["schedule"] = provenance_from_dict(
+            payload["result"].get("schedule")
+        )
+        return payload
+
+    @staticmethod
+    def _row_to_stored(row: sqlite3.Row) -> StoredRow:
+        return StoredRow(
+            cell_key=row["cell_key"],
+            name=row["name"],
+            algorithm=row["algorithm"],
+            channel_type=row["channel_type"],
+            detector_setup=row["detector_setup"],
+            workload=row["workload"],
+            n_processes=row["n_processes"],
+            n_crashes=row["n_crashes"],
+            seed=row["seed"],
+            loss_kind=row["loss_kind"],
+            loss_level=row["loss_level"],
+            delay_kind=row["delay_kind"],
+            explore_strategy=row["explore_strategy"],
+            explore_index=row["explore_index"],
+            all_hold=bool(row["all_hold"]),
+            quiescent=bool(row["quiescent"]),
+            anonymity_passed=bool(row["anonymity_passed"]),
+            stop_reason=row["stop_reason"],
+            final_time=row["final_time"],
+            mean_latency=row["mean_latency"],
+            total_sends=row["total_sends"],
+            deliveries=row["deliveries"],
+            schedule_strategy=row["schedule_strategy"],
+            schedule_hash=row["schedule_hash"],
+            created_at=row["created_at"],
+        )
+
+    #: Filters accepted by :meth:`query` (name -> SQL column).
+    _QUERY_COLUMNS = {
+        "algorithm": "algorithm",
+        "channel_type": "channel_type",
+        "detector_setup": "detector_setup",
+        "workload": "workload",
+        "n_processes": "n_processes",
+        "n_crashes": "n_crashes",
+        "seed": "seed",
+        "loss_kind": "loss_kind",
+        "loss": "loss_level",
+        "delay_kind": "delay_kind",
+        "explore_strategy": "explore_strategy",
+        "all_hold": "all_hold",
+        "quiescent": "quiescent",
+        "anonymity_passed": "anonymity_passed",
+        "stop_reason": "stop_reason",
+        "name": "name",
+    }
+
+    def query(
+        self,
+        *,
+        campaign: Optional[str] = None,
+        group: Optional[str] = None,
+        limit: Optional[int] = None,
+        **filters: Any,
+    ) -> list[StoredRow]:
+        """Stored rows matching every given equality filter.
+
+        Keyword filters map onto index columns (``algorithm=...``,
+        ``loss=0.2`` — the Bernoulli probability, ``all_hold=True`` …).
+        ``campaign``/``group`` restrict to a campaign's cells, returned in
+        campaign position order (the deterministic suite order aggregation
+        relies on); without them, rows come back in insertion order.
+        """
+        clauses: list[str] = []
+        params: list[Any] = []
+        for key, value in filters.items():
+            column = self._QUERY_COLUMNS.get(key)
+            if column is None:
+                raise StoreError(
+                    f"unknown query filter {key!r}; known: "
+                    f"{', '.join(sorted(self._QUERY_COLUMNS))}, campaign, "
+                    "group, limit"
+                )
+            if isinstance(value, bool):
+                value = int(value)
+            clauses.append(f"r.{column} = ?")
+            params.append(value)
+        if campaign is not None or group is not None:
+            sql = (
+                "SELECT r.* FROM campaign_cells c "
+                "JOIN results r ON r.cell_key = c.cell_key"
+            )
+            if campaign is not None:
+                clauses.append("c.campaign = ?")
+                params.append(campaign)
+            if group is not None:
+                clauses.append("c.group_label = ?")
+                params.append(group)
+            order = "ORDER BY c.campaign, c.position"
+        else:
+            sql = "SELECT r.* FROM results r"
+            order = "ORDER BY r.rowid"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" {order}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        rows = self._db.execute(sql, params).fetchall()
+        return [self._row_to_stored(row) for row in rows]
+
+    def count(self, **filters: Any) -> int:
+        """Number of stored rows matching the filters (see :meth:`query`)."""
+        return len(self.query(**filters))
+
+    def __len__(self) -> int:
+        return int(self._db.execute(
+            "SELECT COUNT(*) AS c FROM results"
+        ).fetchone()["c"])
+
+    # ------------------------------------------------------------------ #
+    # campaigns
+    # ------------------------------------------------------------------ #
+    def register_campaign(
+        self,
+        name: str,
+        suite_name: str,
+        cells: Sequence[tuple[int, str, str]],
+        *,
+        resume: bool = False,
+    ) -> None:
+        """Record a campaign manifest: ``(position, group, cell_key)`` rows.
+
+        A campaign name can only be reused with ``resume=True``, and then
+        only with the *identical* cell list — resuming a changed suite under
+        an old name would make ``status`` lie about what the numbers mean.
+        """
+        existing = self._db.execute(
+            "SELECT name FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if existing is not None:
+            if not resume:
+                raise StoreError(
+                    f"campaign {name!r} already exists in {self.root}; pass "
+                    "resume=True (CLI: --resume) to continue it"
+                )
+            recorded = self.campaign_cells(name)
+            if recorded != [tuple(cell) for cell in cells]:
+                raise StoreError(
+                    f"campaign {name!r} cannot resume: the suite expands to "
+                    "a different cell list than the recorded manifest"
+                )
+            with self._db:
+                self._db.execute(
+                    "UPDATE campaigns SET updated_at = ? WHERE name = ?",
+                    (time.time(), name),
+                )
+            return
+        now = time.time()
+        with self._db:
+            # `total` counts distinct cells (the completion denominator):
+            # suites scheduling the same scenario twice still reach 100%.
+            self._db.execute(
+                "INSERT INTO campaigns (name, suite_name, total, created_at, "
+                "updated_at) VALUES (?, ?, ?, ?, ?)",
+                (name, suite_name,
+                 len({key for _position, _group, key in cells}), now, now),
+            )
+            self._db.executemany(
+                "INSERT INTO campaign_cells (campaign, position, group_label, "
+                "cell_key) VALUES (?, ?, ?, ?)",
+                [(name, position, group, key) for position, group, key in cells],
+            )
+
+    def campaign_cells(self, name: str) -> list[tuple[int, str, str]]:
+        """The manifest of *name*: ``(position, group, cell_key)`` in order."""
+        rows = self._db.execute(
+            "SELECT position, group_label, cell_key FROM campaign_cells "
+            "WHERE campaign = ? ORDER BY position",
+            (name,),
+        ).fetchall()
+        return [(row["position"], row["group_label"], row["cell_key"])
+                for row in rows]
+
+    def campaign_info(self, name: str) -> Optional[CampaignInfo]:
+        """Progress summary of one campaign, or ``None`` if unknown."""
+        row = self._db.execute(
+            "SELECT * FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        done = int(self._db.execute(
+            "SELECT COUNT(DISTINCT c.cell_key) AS c FROM campaign_cells c "
+            "JOIN results r ON r.cell_key = c.cell_key WHERE c.campaign = ?",
+            (name,),
+        ).fetchone()["c"])
+        return CampaignInfo(
+            name=row["name"],
+            suite_name=row["suite_name"],
+            total=row["total"],
+            done=done,
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+        )
+
+    def campaigns(self) -> list[CampaignInfo]:
+        """Every registered campaign, in creation order."""
+        names = [row["name"] for row in self._db.execute(
+            "SELECT name FROM campaigns ORDER BY created_at, name"
+        ).fetchall()]
+        infos = (self.campaign_info(name) for name in names)
+        return [info for info in infos if info is not None]
+
+    def delete_campaign(self, name: str) -> None:
+        """Drop a campaign manifest (results stay; gc can drop orphans)."""
+        if self._db.execute("SELECT 1 FROM campaigns WHERE name = ?",
+                            (name,)).fetchone() is None:
+            raise StoreError(f"unknown campaign {name!r} in {self.root}")
+        with self._db:
+            self._db.execute("DELETE FROM campaigns WHERE name = ?", (name,))
+            self._db.execute("DELETE FROM campaign_cells WHERE campaign = ?",
+                             (name,))
+
+    # ------------------------------------------------------------------ #
+    # counterexample artifacts
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _artifact_id(data: dict[str, Any]) -> str:
+        """Primary key of one counterexample artifact.
+
+        The schedule hash alone only identifies a *decision trace* — two
+        different scenarios can legitimately share one (e.g. short
+        enumerative traces), so the key hashes the scenario's canonical
+        form too.  Re-storing the same scenario+schedule is idempotent.
+        """
+        scenario_json = json.dumps(data["scenario"], sort_keys=True,
+                                   separators=(",", ":"))
+        payload = f"artifact:{scenario_json}:{data['schedule_hash']}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def put_counterexample(self, counterexample: "Counterexample") -> str:
+        """Persist an explorer counterexample; returns its artifact id.
+
+        The payload is the exact replayable artifact schema written by
+        :func:`repro.explore.serialize.write_counterexample`, so an exported
+        artifact feeds straight into ``repro-urb replay``.
+        """
+        data = counterexample_to_dict(counterexample)
+        payload = zlib.compress(
+            json.dumps(data, separators=(",", ":")).encode("utf-8")
+        )
+        artifact_id = self._artifact_id(data)
+        with self._db:
+            self._db.execute(
+                "INSERT OR REPLACE INTO artifacts (artifact_id, "
+                "schedule_hash, strategy, algorithm, signature, "
+                "shrunk_verified, payload, schema_version, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    artifact_id,
+                    data["schedule_hash"],
+                    data["strategy"],
+                    data["scenario"]["algorithm"],
+                    json.dumps(list(data["signature"])),
+                    int(bool(data["shrunk_verified"])),
+                    payload,
+                    SCHEMA_VERSION,
+                    time.time(),
+                ),
+            )
+        return artifact_id
+
+    def counterexamples(self) -> list[CounterexampleRow]:
+        """Index rows of every stored counterexample, oldest first."""
+        rows = self._db.execute(
+            "SELECT artifact_id, schedule_hash, strategy, algorithm, "
+            "signature, shrunk_verified, created_at FROM artifacts "
+            "ORDER BY created_at"
+        ).fetchall()
+        return [
+            CounterexampleRow(
+                artifact_id=row["artifact_id"],
+                schedule_hash=row["schedule_hash"],
+                strategy=row["strategy"],
+                algorithm=row["algorithm"],
+                signature=tuple(json.loads(row["signature"])),
+                shrunk_verified=bool(row["shrunk_verified"]),
+                created_at=row["created_at"],
+            )
+            for row in rows
+        ]
+
+    def load_counterexample_dict(self, reference: str) -> dict[str, Any]:
+        """The raw artifact dict of one stored counterexample.
+
+        *reference* is an artifact id or a schedule hash; a schedule hash
+        shared by several stored artifacts is rejected as ambiguous.
+        """
+        rows = self._db.execute(
+            "SELECT payload FROM artifacts WHERE artifact_id = ?",
+            (reference,),
+        ).fetchall()
+        if not rows:
+            rows = self._db.execute(
+                "SELECT payload FROM artifacts WHERE schedule_hash = ?",
+                (reference,),
+            ).fetchall()
+        if not rows:
+            raise StoreError(f"no counterexample {reference!r} in {self.root}")
+        if len(rows) > 1:
+            raise StoreError(
+                f"schedule hash {reference!r} matches {len(rows)} stored "
+                "counterexamples; use the artifact id from "
+                "`campaign query --counterexamples`"
+            )
+        return json.loads(zlib.decompress(rows[0]["payload"]).decode("utf-8"))
+
+    def export_counterexample(self, reference: str,
+                              path: str | Path) -> Path:
+        """Write one stored counterexample back out as a replayable JSON
+        artifact (the ``repro-urb replay`` input format)."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.load_counterexample_dict(reference), indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def _iter_blob_paths(self) -> Iterator[Path]:
+        yield from (self.root / _BLOB_DIR).glob("*/*.json.z")
+        # Interrupted writes leave .tmp files behind; gc sweeps them too.
+        yield from (self.root / _BLOB_DIR).glob("*/*.tmp")
+
+    def gc(self, *, drop_unreferenced: bool = False) -> GcStats:
+        """Repair and compact the store.
+
+        * removes blobs (and interrupted ``.tmp`` writes) with no index row;
+        * drops index rows whose blob has vanished (they would fail on
+          :meth:`load`), so the cells get recomputed instead of erroring;
+        * with ``drop_unreferenced=True``, additionally deletes results not
+          referenced by any campaign manifest — the knob for reclaiming
+          space after :meth:`delete_campaign`;
+        * finishes with ``VACUUM``.
+        """
+        dropped_results = 0
+        if drop_unreferenced:
+            with self._db:
+                cursor = self._db.execute(
+                    "DELETE FROM results WHERE cell_key NOT IN "
+                    "(SELECT cell_key FROM campaign_cells)"
+                )
+                dropped_results = cursor.rowcount
+        indexed = {row["cell_key"] for row in self._db.execute(
+            "SELECT cell_key FROM results"
+        ).fetchall()}
+        orphans = 0
+        on_disk: set[str] = set()
+        for path in list(self._iter_blob_paths()):
+            key = path.name.split(".", 1)[0]
+            if path.suffix == ".tmp" or key not in indexed:
+                path.unlink(missing_ok=True)
+                orphans += 1
+            else:
+                on_disk.add(key)
+        missing = indexed - on_disk
+        if missing:
+            with self._db:
+                self._db.executemany(
+                    "DELETE FROM results WHERE cell_key = ?",
+                    [(key,) for key in missing],
+                )
+        self._db.execute("VACUUM")
+        return GcStats(orphan_blobs=orphans, missing_blobs=len(missing),
+                       dropped_results=dropped_results)

@@ -21,7 +21,16 @@ Sub-commands
 ``explore --strategy random_walk --budget 200 [--parallel 4] [--artifacts D]``
     Adversarial schedule exploration (see :mod:`repro.explore`): search the
     space of admissible schedules for URB property violations, shrinking any
-    counterexample to a minimal replayable decision trace.
+    counterexample to a minimal replayable decision trace.  With ``--store``
+    counterexamples are persisted into a campaign result store.
+``replay counterexample.json [--full]``
+    Re-execute a counterexample artifact and check that it still reproduces
+    the recorded violation.
+``campaign run/status/query/export/gc``
+    Persistent campaigns (see :mod:`repro.campaigns`): run a sweep against a
+    content-addressed result store — cells already computed are never
+    simulated again, a killed run resumes with ``--resume`` — then query,
+    aggregate, export and garbage-collect the stored data.
 
 The ``--algorithm`` choices everywhere come from the live algorithm registry,
 so protocols registered by plugin modules (imported via ``--plugin``) are
@@ -34,7 +43,7 @@ import argparse
 import importlib
 import sys
 from pathlib import Path
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 from .analysis.tables import render_table
 from .experiments import registry as experiment_registry
@@ -133,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes (1 = sequential)")
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--max-time", type=float, default=150.0)
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="print one 'completed/total cells' line "
+                                   "per finished run (default: a single "
+                                   "in-place counter)")
 
     explore_parser = subparsers.add_parser(
         "explore",
@@ -165,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser.add_argument("--artifacts", type=str, default=None,
                                 metavar="DIR",
                                 help="write counterexample JSON artifacts here")
+    explore_parser.add_argument("--store", type=str, default=None,
+                                metavar="DIR",
+                                help="persist counterexamples as first-class "
+                                     "artifacts of the result store at DIR")
     explore_parser.add_argument("--option", action="append", default=[],
                                 metavar="KEY=VALUE",
                                 help="strategy tunable placed in the scenario "
@@ -175,6 +192,108 @@ def build_parser() -> argparse.ArgumentParser:
                                      "violation is found and its shrunk "
                                      "counterexample replays to the same "
                                      "violation (self-test mode)")
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="replay a counterexample artifact and verify its violation",
+        parents=[plugin_parent])
+    replay_parser.add_argument("artifact",
+                               help="counterexample JSON written by "
+                                    "'explore --artifacts' or 'campaign "
+                                    "export --counterexample'")
+    replay_parser.add_argument("--full", action="store_true",
+                               help="replay the full recorded trace instead "
+                                    "of the shrunk one")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="persistent, resumable sweeps over a content-addressed store",
+        parents=[plugin_parent])
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command",
+                                                  required=True)
+
+    def store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", required=True, metavar="DIR",
+                         help="result store directory")
+
+    crun = campaign_sub.add_parser(
+        "run", help="run (or resume) a sweep campaign against the store",
+        parents=[plugin_parent])
+    store_argument(crun)
+    crun.add_argument("--name", default=None,
+                      help="campaign name (default: derived from the sweep)")
+    crun.add_argument("--algorithm", choices=algorithm_names(),
+                      default="algorithm2")
+    crun.add_argument("--field", default="loss",
+                      help="Scenario field to vary (default: loss; 'loss' "
+                           "values are Bernoulli probabilities)")
+    crun.add_argument("--values", required=True,
+                      help="comma-separated grid, e.g. 0.0,0.2,0.4")
+    crun.add_argument("--n", type=int, default=5, help="number of processes")
+    crun.add_argument("--crashes", type=int, default=0,
+                      help="number of processes crashed at t=2")
+    crun.add_argument("--seeds", type=int, default=3,
+                      help="replications per grid point")
+    crun.add_argument("--parallel", type=int, default=1,
+                      help="worker processes (1 = sequential)")
+    crun.add_argument("--seed", type=int, default=0)
+    crun.add_argument("--max-time", type=float, default=150.0)
+    crun.add_argument("--resume", action="store_true",
+                      help="continue a previously started campaign of the "
+                           "same name (completed cells are never re-run)")
+    crun.add_argument("--recompute", action="store_true",
+                      help="ignore and overwrite stored cells")
+    crun.add_argument("--shard-size", type=int, default=None,
+                      help="cells per checkpointed shard")
+    crun.add_argument("--progress", action="store_true",
+                      help="print one 'completed/total cells' line per "
+                           "finished cell")
+
+    cstatus = campaign_sub.add_parser(
+        "status", help="show campaign completion against the store",
+        parents=[plugin_parent])
+    store_argument(cstatus)
+    cstatus.add_argument("name", nargs="?", default=None,
+                         help="campaign to detail (default: list all)")
+
+    cquery = campaign_sub.add_parser(
+        "query", help="query stored results (or counterexamples)",
+        parents=[plugin_parent])
+    store_argument(cquery)
+    cquery.add_argument("--algorithm", default=None)
+    cquery.add_argument("--loss", type=float, default=None,
+                        help="Bernoulli loss probability")
+    cquery.add_argument("--n", type=int, default=None, dest="n_processes")
+    cquery.add_argument("--seed", type=int, default=None)
+    cquery.add_argument("--campaign", default=None)
+    cquery.add_argument("--group", default=None)
+    cquery.add_argument("--violations-only", action="store_true",
+                        help="only cells where a URB property was violated")
+    cquery.add_argument("--limit", type=int, default=None)
+    cquery.add_argument("--counterexamples", action="store_true",
+                        help="list stored counterexample artifacts instead "
+                             "of results")
+
+    cexport = campaign_sub.add_parser(
+        "export", help="export a campaign (or counterexample) from the store",
+        parents=[plugin_parent])
+    store_argument(cexport)
+    cexport.add_argument("--campaign", default=None,
+                         help="campaign to export (JSON report, or CSV when "
+                              "--output ends in .csv)")
+    cexport.add_argument("--counterexample", default=None, metavar="ID",
+                         help="artifact id (or unambiguous schedule hash) of "
+                              "a stored counterexample to export as a "
+                              "replayable artifact")
+    cexport.add_argument("--output", required=True, help="output file")
+
+    cgc = campaign_sub.add_parser(
+        "gc", help="repair and compact the store", parents=[plugin_parent])
+    store_argument(cgc)
+    cgc.add_argument("--drop-campaign", default=None, metavar="NAME",
+                     help="delete this campaign's manifest first")
+    cgc.add_argument("--drop-unreferenced", action="store_true",
+                     help="also delete results referenced by no campaign")
     return parser
 
 
@@ -307,61 +426,77 @@ def _parse_sweep_value(field: str, raw: str) -> Any:
 
 
 def _render_sweep_result(result: SuiteResult) -> str:
-    stats = result.group_stats(lambda r: r.metrics.mean_latency)
-    ok = result.group_fraction(lambda r: r.all_properties_hold)
-    quiescent = result.group_fraction(lambda r: r.quiescence.quiescent)
-    rows = []
-    for group, results in result.groups().items():
-        latency = stats[group]
-        rows.append([
-            group,
-            len(results),
-            f"{latency.mean:.3f}" if latency else "-",
-            f"{ok[group]:.2f}",
-            f"{quiescent[group]:.2f}",
-        ])
+    from .campaigns.reporting import GROUP_TABLE_HEADERS, format_group_rows
+
+    rows = format_group_rows(
+        result.groups(),
+        mean_latency_of=lambda r: r.metrics.mean_latency,
+        ok_of=lambda r: r.all_properties_hold,
+        quiescent_of=lambda r: r.quiescence.quiescent,
+    )
     return render_table(
-        ["configuration", "runs", "mean latency", "URB ok", "quiescent"],
+        list(GROUP_TABLE_HEADERS),
         rows,
         title=f"Sweep ({result.parallel} worker(s), "
               f"{result.elapsed_seconds:.1f}s wall-clock)",
     )
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _progress_printer(args: argparse.Namespace, unit: str = "runs"):
+    """The CLI progress callback: verbose one-line-per-completion with
+    ``--progress``, an in-place stderr counter otherwise."""
+    if getattr(args, "progress", False):
+        def verbose(done: int, total: int, item) -> None:
+            print(f"{done}/{total} {unit} completed ({item.group})",
+                  file=sys.stderr)
+        return verbose
+
+    def counter(done: int, total: int, item) -> None:
+        print(f"\r{done}/{total} {unit} finished", end="", file=sys.stderr)
+    return counter
+
+
+def _build_sweep_suite(args: argparse.Namespace,
+                       name: str) -> Union[ScenarioSuite, str]:
+    """The one-field sweep suite shared by ``sweep`` and ``campaign run``.
+
+    Returns the suite, or an error message (the caller prints it and exits
+    with status 2).
+    """
     if args.crashes >= args.n:
-        print("error: at least one process must remain correct", file=sys.stderr)
-        return 2
-    base = _base_scenario(args, f"sweep-{args.algorithm}")
+        return "at least one process must remain correct"
+    base = _base_scenario(args, name)
     try:
         values = [_parse_sweep_value(args.field, token)
                   for token in args.values.split(",") if token]
     except ValueError as exc:
-        print(f"error: bad --values entry for field {args.field!r}: {exc}",
-              file=sys.stderr)
-        return 2
+        return f"bad --values entry for field {args.field!r}: {exc}"
     if not values:
-        print("error: --values contained no usable entries", file=sys.stderr)
-        return 2
+        return "--values contained no usable entries"
     try:
-        suite = (
-            ScenarioSuite(f"cli-sweep-{args.field}")
+        return (
+            ScenarioSuite(f"{name}-{args.field}")
             .add_sweep(base, args.field, values,
                        groups=[f"{args.field}={token}"
                                for token in args.values.split(",") if token])
             .with_seeds(args.seeds)
         )
     except (TypeError, ValueError) as exc:
-        print(f"error: cannot build sweep over field {args.field!r}: {exc}",
-              file=sys.stderr)
+        return f"cannot build sweep over field {args.field!r}: {exc}"
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    suite = _build_sweep_suite(args, f"sweep-{args.algorithm}")
+    if isinstance(suite, str):
+        print(f"error: {suite}", file=sys.stderr)
         return 2
     result = suite.run(
         parallel=args.parallel,
-        progress=lambda done, total, item: print(
-            f"\r{done}/{total} runs finished", end="", file=sys.stderr),
+        progress=_progress_printer(args),
         worker_plugins=tuple(args.plugin),
     )
-    print(file=sys.stderr)
+    if not args.progress:
+        print(file=sys.stderr)
     print(_render_sweep_result(result))
     for failure in result.failures:
         print(f"warning: {failure.describe()}", file=sys.stderr)
@@ -405,7 +540,12 @@ def _command_explore(args: argparse.Namespace) -> int:
         return 2
     scenario = _base_scenario(args, f"explore-{args.algorithm}",
                               loss=args.loss).with_(metadata=metadata)
+    from .campaigns import ResultStore, StoreError
+
+    store = None
     try:
+        if args.store is not None:
+            store = ResultStore(args.store)
         explorer = Explorer(
             scenario=scenario,
             strategy=args.strategy,
@@ -414,14 +554,18 @@ def _command_explore(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             artifacts_dir=None if args.artifacts is None
             else Path(args.artifacts),
+            store=store,
         )
         report = explorer.run(
             progress=lambda done, total, item: print(
                 f"\r{done}/{total} schedules explored", end="", file=sys.stderr),
         )
-    except ValueError as exc:
+    except (ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if store is not None:
+            store.close()
     print(file=sys.stderr)
     print(report.describe())
     for counterexample in report.counterexamples:
@@ -454,6 +598,227 @@ def _command_explore(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_replay(args: argparse.Namespace) -> int:
+    from .analysis.properties import violation_signature
+    from .explore.serialize import load_counterexample
+    from .explore.explorer import replay_decisions
+
+    path = Path(args.artifact)
+    if not path.exists():
+        print(f"error: no such artifact {path}", file=sys.stderr)
+        return 2
+    try:
+        data = load_counterexample(path)
+    except (ValueError, KeyError) as exc:
+        print(f"error: cannot load counterexample: {exc}", file=sys.stderr)
+        return 2
+    decisions = data["decisions"]
+    which = "full"
+    if not args.full and data.get("shrunk_decisions") is not None:
+        decisions = data["shrunk_decisions"]
+        which = "shrunk"
+    simulation, verdict = replay_decisions(data["scenario"], decisions)
+    recorded = tuple(data["signature"])
+    replayed = violation_signature(verdict)
+    print(f"replayed {which} trace ({len(decisions)} decisions) of schedule "
+          f"{data['schedule_hash']} on {data['scenario'].describe()}")
+    print(simulation.describe())
+    print(verdict.describe())
+    if replayed == recorded:
+        print(f"violation reproduced: {', '.join(recorded) or '<none>'}")
+        return 0
+    print(
+        f"error: replay diverged — artifact records violations "
+        f"[{', '.join(recorded)}] but the replay produced "
+        f"[{', '.join(replayed)}]",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _render_campaign_status(store: "ResultStore") -> str:
+    rows = [
+        [info.name, info.suite_name, info.done, info.total,
+         "complete" if info.complete else "in progress"]
+        for info in store.campaigns()
+    ]
+    return render_table(
+        ["campaign", "suite", "done", "cells", "state"],
+        rows, title=f"Campaigns in {store.root}",
+    )
+
+
+def _campaign_run(store: "ResultStore", args: argparse.Namespace) -> int:
+    from .campaigns import Campaign, campaign_table
+
+    suite = _build_sweep_suite(args, f"campaign-{args.algorithm}")
+    if isinstance(suite, str):
+        print(f"error: {suite}", file=sys.stderr)
+        return 2
+    campaign = Campaign(
+        store, suite,
+        name=args.name,
+        parallel=args.parallel,
+        shard_size=args.shard_size,
+        worker_plugins=tuple(args.plugin),
+    )
+    report = campaign.run(
+        resume=args.resume,
+        recompute=args.recompute,
+        progress=_progress_printer(args, unit="cells"),
+    )
+    if not args.progress:
+        print(file=sys.stderr)
+    print(report.describe())
+    print()
+    print(campaign_table(store, report.name).render())
+    for failure in report.failures:
+        print(f"warning: {failure.describe()}", file=sys.stderr)
+        if failure.details:
+            print(failure.details.rstrip(), file=sys.stderr)
+    rows = campaign.rows()
+    all_hold = all(row.all_properties_hold for row in rows if row is not None)
+    return 0 if report.complete and all_hold else 1
+
+
+def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
+    if args.name is None:
+        print(_render_campaign_status(store))
+        return 0
+    info = store.campaign_info(args.name)
+    if info is None:
+        print(f"error: unknown campaign {args.name!r} in {store.root}",
+              file=sys.stderr)
+        return 2
+    print(f"campaign {info.name!r} (suite {info.suite_name!r}): "
+          f"{info.done}/{info.total} cells computed"
+          f"{' — complete' if info.complete else ''}")
+    groups: dict[str, list[int]] = {}
+    for _position, group, cell_key in store.campaign_cells(args.name):
+        groups.setdefault(group, [0, 0])
+        groups[group][1] += 1
+        if store.contains(cell_key, count=False):
+            groups[group][0] += 1
+    rows = [[group, f"{done}/{total}"]
+            for group, (done, total) in groups.items()]
+    print(render_table(["configuration", "done"], rows))
+    return 0
+
+
+def _campaign_query(store: "ResultStore", args: argparse.Namespace) -> int:
+    from .campaigns import query_table
+
+    if args.counterexamples:
+        ignored = [flag for flag, value in (
+            ("--algorithm", args.algorithm), ("--loss", args.loss),
+            ("--n", args.n_processes), ("--seed", args.seed),
+            ("--campaign", args.campaign), ("--group", args.group),
+            ("--limit", args.limit),
+        ) if value is not None] + (
+            ["--violations-only"] if args.violations_only else []
+        )
+        if ignored:
+            # Result filters do not apply to the artifacts table; refusing
+            # beats returning an unfiltered listing that looks filtered.
+            print(f"error: {', '.join(ignored)} cannot be combined with "
+                  "--counterexamples", file=sys.stderr)
+            return 2
+        rows = [
+            [ce.artifact_id, ce.schedule_hash, ce.strategy, ce.algorithm,
+             ", ".join(ce.signature), ce.shrunk_verified]
+            for ce in store.counterexamples()
+        ]
+        print(render_table(
+            ["artifact", "schedule", "strategy", "algorithm", "violates",
+             "shrunk ok"],
+            rows, title=f"Counterexamples in {store.root}",
+        ))
+        return 0
+    filters: dict[str, Any] = {}
+    if args.algorithm is not None:
+        filters["algorithm"] = args.algorithm
+    if args.loss is not None:
+        filters["loss"] = args.loss
+    if args.n_processes is not None:
+        filters["n_processes"] = args.n_processes
+    if args.seed is not None:
+        filters["seed"] = args.seed
+    if args.campaign is not None:
+        filters["campaign"] = args.campaign
+    if args.group is not None:
+        filters["group"] = args.group
+    if args.violations_only:
+        filters["all_hold"] = False
+    try:
+        print(query_table(store, limit=args.limit, **filters).render())
+    except Exception as exc:  # noqa: BLE001 - user-facing query errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _campaign_export(store: "ResultStore", args: argparse.Namespace) -> int:
+    from .campaigns import campaign_report, campaign_table
+    from .experiments.export import write_artifact_csv, write_experiment_json
+
+    if (args.campaign is None) == (args.counterexample is None):
+        print("error: pass exactly one of --campaign / --counterexample",
+              file=sys.stderr)
+        return 2
+    output = Path(args.output)
+    try:
+        if args.counterexample is not None:
+            store.export_counterexample(args.counterexample, output)
+        elif output.suffix.lower() == ".csv":
+            write_artifact_csv(campaign_table(store, args.campaign), output)
+        else:
+            write_experiment_json(campaign_report(store, args.campaign),
+                                  output)
+    except (KeyError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"exported to {output}")
+    return 0
+
+
+def _campaign_gc(store: "ResultStore", args: argparse.Namespace) -> int:
+    if args.drop_campaign is not None:
+        try:
+            store.delete_campaign(args.drop_campaign)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"dropped campaign {args.drop_campaign!r}")
+    stats = store.gc(drop_unreferenced=args.drop_unreferenced)
+    print(stats.describe())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from .campaigns import ResultStore, StoreError
+
+    try:
+        # Read verbs must not silently initialise an empty store at a typo.
+        store = ResultStore(args.store,
+                            create=args.campaign_command == "run")
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    handlers = {
+        "run": _campaign_run,
+        "status": _campaign_status,
+        "query": _campaign_query,
+        "export": _campaign_export,
+        "gc": _campaign_gc,
+    }
+    with store:
+        try:
+            return handlers[args.campaign_command](store, args)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     # Import plugins before building the parser so their registrations
@@ -483,6 +848,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "explore":
         return _command_explore(args)
+    if args.command == "replay":
+        return _command_replay(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -47,6 +47,11 @@ from .runner import ScenarioResult, run_scenario
 #: Called after each completed item: ``progress(done, total, item)``.
 ProgressCallback = Callable[[int, int, "SuiteItem"], None]
 
+#: Called with every successful result as it completes (completion order):
+#: ``on_result(item, result)``.  This is the hook incremental consumers (the
+#: campaign store) use to persist results before the whole batch finishes.
+ResultCallback = Callable[["SuiteItem", "ScenarioResult"], None]
+
 #: Extracts one number from a result (``None`` = no data for this run).
 MetricFn = Callable[[ScenarioResult], Optional[float]]
 
@@ -303,11 +308,13 @@ class ScenarioSuite:
         parallel: int = 1,
         *,
         progress: Optional[ProgressCallback] = None,
+        on_result: Optional[ResultCallback] = None,
         worker_plugins: Sequence[str] = (),
         fail_fast: bool = False,
     ) -> SuiteResult:
         """Execute the suite (see :class:`BatchRunner`)."""
         runner = BatchRunner(parallel=parallel, progress=progress,
+                             on_result=on_result,
                              worker_plugins=worker_plugins, fail_fast=fail_fast)
         return runner.run(self)
 
@@ -315,6 +322,13 @@ class ScenarioSuite:
 # --------------------------------------------------------------------------- #
 # execution
 # --------------------------------------------------------------------------- #
+def normalise_suite(
+    suite: Union[ScenarioSuite, Iterable[Scenario], Sequence[SuiteItem]],
+) -> tuple[str, tuple[SuiteItem, ...]]:
+    """Public view of suite normalisation (used by the campaign runner)."""
+    return BatchRunner._normalise(suite)
+
+
 def _import_worker_plugins(plugins: Sequence[str]) -> None:
     """Pool initializer: perform third-party registrations in each worker."""
     for module_name in plugins:
@@ -348,6 +362,11 @@ class BatchRunner:
     progress:
         ``progress(done, total, item)`` called after each item completes (in
         completion order; ``done`` is monotonic).
+    on_result:
+        ``on_result(item, result)`` called with every *successful* result as
+        soon as it is recorded (completion order, always in the calling
+        process).  Campaigns persist results through this hook so a killed
+        batch loses at most the in-flight items.
     worker_plugins:
         Module names imported by every worker before running anything —
         the hook for third-party registry registrations (see module docs).
@@ -364,6 +383,7 @@ class BatchRunner:
         parallel: int = 1,
         *,
         progress: Optional[ProgressCallback] = None,
+        on_result: Optional[ResultCallback] = None,
         worker_plugins: Sequence[str] = (),
         fail_fast: bool = False,
     ) -> None:
@@ -371,6 +391,7 @@ class BatchRunner:
             raise ValueError("parallel must be at least 1")
         self.parallel = parallel
         self.progress = progress
+        self.on_result = on_result
         self.worker_plugins = tuple(worker_plugins)
         self.fail_fast = fail_fast
 
@@ -426,6 +447,8 @@ class BatchRunner:
                 index=position, group=item.group, scenario=item.scenario,
                 error=error, details=details,
             ))
+        elif result is not None and self.on_result is not None:
+            self.on_result(items[position], result)
 
     def _run_inline(
         self, items: Sequence[SuiteItem]

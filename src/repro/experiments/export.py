@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable
 
+from ..simulation.engine import ScheduleProvenance
 from .report import ExperimentArtifact, ExperimentResult
 from .runner import ScenarioResult
 
@@ -37,6 +38,39 @@ def experiment_result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "parameters": dict(result.parameters),
         "artifacts": [artifact_to_dict(a) for a in result.artifacts],
     }
+
+
+def provenance_to_dict(
+    provenance: ScheduleProvenance | None,
+) -> dict[str, Any] | None:
+    """JSON-friendly view of a run's schedule provenance, decisions included.
+
+    Unlike :meth:`ScheduleProvenance.as_dict` (a summary for reports), this
+    form carries the decision trace too, so an export round-trips through
+    :func:`provenance_from_dict` equal to its source.
+    """
+    if provenance is None:
+        return None
+    data = provenance.as_dict()
+    data["decisions"] = [list(decision) for decision in provenance.decisions]
+    return data
+
+
+def provenance_from_dict(
+    data: dict[str, Any] | None,
+) -> ScheduleProvenance | None:
+    """Rebuild a :class:`ScheduleProvenance` written by
+    :func:`provenance_to_dict` (``None`` passes through)."""
+    if data is None:
+        return None
+    return ScheduleProvenance(
+        strategy=data["strategy"],
+        seed=data["seed"],
+        schedule_index=data["schedule_index"],
+        decision_count=data["decision_count"],
+        schedule_hash=data["schedule_hash"],
+        decisions=tuple(tuple(decision) for decision in data["decisions"]),
+    )
 
 
 def scenario_result_to_dict(result: ScenarioResult) -> dict[str, Any]:
@@ -73,6 +107,7 @@ def scenario_result_to_dict(result: ScenarioResult) -> dict[str, Any]:
         "metrics": result.metrics.as_dict(),
         "stop_reason": result.simulation.stop_reason,
         "final_time": result.simulation.final_time,
+        "schedule": provenance_to_dict(result.simulation.schedule),
         "deliveries": {
             str(index): log.contents()
             for index, log in result.simulation.delivery_logs.items()
@@ -133,6 +168,18 @@ def write_experiment_csvs(result: ExperimentResult,
 def load_experiment_json(path: str | Path) -> dict[str, Any]:
     """Load a JSON file written by :func:`write_experiment_json`."""
     return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def load_scenario_json(path: str | Path) -> dict[str, Any]:
+    """Load a JSON file written by :func:`write_scenario_json`.
+
+    The mapping mirrors the file, with ``schedule`` rebuilt into a live
+    :class:`~repro.simulation.engine.ScheduleProvenance` (``None`` when the
+    export predates provenance tracking).
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    data["schedule"] = provenance_from_dict(data.get("schedule"))
+    return data
 
 
 def rows_from_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:

@@ -177,6 +177,10 @@ class Explorer:
         Replay budget per counterexample during shrinking.
     artifacts_dir:
         When set, every counterexample is serialised there as JSON.
+    store:
+        When set, every counterexample is additionally persisted as a
+        first-class artifact of a :class:`~repro.campaigns.ResultStore`
+        (anything exposing ``put_counterexample(counterexample)`` works).
     worker_plugins:
         Modules each worker imports first (third-party registrations).
     """
@@ -188,6 +192,7 @@ class Explorer:
     shrink: bool = True
     max_shrink_tests: int = DEFAULT_MAX_TESTS
     artifacts_dir: Optional[Path] = None
+    store: Optional[object] = None
     worker_plugins: Sequence[str] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -277,6 +282,10 @@ class Explorer:
                     counterexample, self.artifacts_dir
                 )
 
+        if self.store is not None:
+            for counterexample in counterexamples:
+                self.store.put_counterexample(counterexample)
+
         return ExplorationReport(
             scenario=self.scenario,
             strategy=self.strategy,
@@ -326,6 +335,7 @@ def explore(
     parallel: int = 1,
     shrink: bool = True,
     artifacts_dir: Optional[str | Path] = None,
+    store: Optional[object] = None,
     worker_plugins: Sequence[str] = (),
     progress: Optional[ProgressCallback] = None,
 ) -> ExplorationReport:
@@ -337,6 +347,7 @@ def explore(
         parallel=parallel,
         shrink=shrink,
         artifacts_dir=None if artifacts_dir is None else Path(artifacts_dir),
+        store=store,
         worker_plugins=worker_plugins,
     )
     return explorer.run(progress=progress)

@@ -47,7 +47,10 @@ def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
         "algorithm": scenario.algorithm,
         "n_processes": scenario.n_processes,
         "seed": scenario.seed,
-        "crashes": {str(index): time
+        # Times are floats on the wire (mirroring scenario_from_dict's
+        # coercion), so int-specified crash times serialise — and hash, see
+        # repro.campaigns.hashing — identically to their float equals.
+        "crashes": {str(index): float(time)
                     for index, time in dict(scenario.crashes).items()},
         "loss": {"kind": scenario.loss.kind,
                  "params": dict(scenario.loss.params)},
@@ -73,13 +76,21 @@ def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
         "workload": scenario.workload,
         "trace_enabled": scenario.trace_enabled,
         "trace_ticks": scenario.trace_ticks,
+        "explore_strategy": scenario.explore_strategy,
+        "explore_index": scenario.explore_index,
         "metadata": dict(scenario.metadata),
     }
 
 
 def scenario_from_dict(data: dict[str, Any]) -> Scenario:
-    """Rebuild a :class:`Scenario` written by :func:`scenario_to_dict`."""
+    """Rebuild a :class:`Scenario` written by :func:`scenario_to_dict`.
+
+    Artifacts written before the ``explore_*`` fields were serialised (they
+    were added later, for the campaign cell hash) load with the defaults.
+    """
     fields = dict(data)
+    fields.setdefault("explore_strategy", None)
+    fields.setdefault("explore_index", 0)
     fields["crashes"] = {
         int(index): float(time)
         for index, time in dict(fields.get("crashes", {})).items()

@@ -189,6 +189,37 @@ class TestFailureIsolation:
         assert "traceback-carrier" in str(excinfo.value)
         assert "broken_factory" in str(excinfo.value)  # frame from the trace
 
+    def test_on_result_sees_successes_only_as_they_complete(self):
+        def broken_factory(scenario, index, env):
+            raise RuntimeError("intentional failure")
+
+        seen = []
+        spec = AlgorithmSpec(name="tmp_broken_cb", factory=broken_factory)
+        with algorithms.scoped(spec):
+            suite = (ScenarioSuite("s")
+                     .add(fast_scenario(name="good", seed=1))
+                     .add(fast_scenario(name="bad", algorithm="tmp_broken_cb"))
+                     .add(fast_scenario(name="good2", seed=2)))
+            result = suite.run(
+                on_result=lambda item, outcome: seen.append(
+                    (item.index, outcome.scenario.seed)),
+            )
+        # The failed item never reaches the callback; successes do, with
+        # their suite item attached.
+        assert seen == [(0, 1), (2, 2)]
+        assert len(result.failures) == 1
+
+    def test_on_result_runs_in_calling_process_for_pool_runs(self):
+        seen = []
+        suite = (ScenarioSuite("s")
+                 .add(fast_scenario(seed=1)).add(fast_scenario(seed=2)))
+        result = suite.run(
+            parallel=2,
+            on_result=lambda item, outcome: seen.append(item.index),
+        )
+        assert sorted(seen) == [0, 1]
+        assert result.ok
+
     def test_fail_fast_inline_preserves_exception_type(self):
         class CustomError(RuntimeError):
             pass

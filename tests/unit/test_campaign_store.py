@@ -1,0 +1,297 @@
+"""Unit tests for the campaign content hash and the persistent result store."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.campaigns import (
+    Campaign,
+    ResultStore,
+    SchemaMismatchError,
+    StoreError,
+    canonical_scenario_json,
+    scenario_cell_key,
+)
+from repro.campaigns.hashing import scenario_from_canonical_dict
+from repro.experiments.config import Scenario
+from repro.experiments.runner import run_scenario
+from repro.explore.explorer import Counterexample
+from repro.network.loss import LossSpec
+from repro.simulation.hooks import EngineHook
+from repro.workloads.generators import SingleBroadcast
+
+
+def quick_scenario(**overrides) -> Scenario:
+    base = dict(
+        name="store-test",
+        algorithm="algorithm2",
+        n_processes=4,
+        max_time=60.0,
+        stop_when_quiescent=True,
+        drain_grace_period=3.0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestScenarioCellKey:
+    def test_equal_scenarios_hash_equally(self):
+        assert scenario_cell_key(quick_scenario()) == scenario_cell_key(
+            quick_scenario()
+        )
+
+    def test_key_is_stable_across_construction_order(self):
+        # Same fields reached through different construction paths (and
+        # metadata insertion orders) must produce the same key.
+        direct = quick_scenario(seed=3, metadata={"a": 1, "b": 2})
+        via_with = quick_scenario(metadata={"b": 2, "a": 1}).with_seed(3)
+        assert scenario_cell_key(direct) == scenario_cell_key(via_with)
+
+    @pytest.mark.parametrize("changes", [
+        {"seed": 1},
+        {"n_processes": 5},
+        {"algorithm": "algorithm1"},
+        {"loss": LossSpec.bernoulli(0.1)},
+        {"tick_interval": 2.0},
+        {"metadata": {"k": 1}},
+        {"explore_strategy": "random_walk"},
+        {"explore_strategy": "random_walk", "explore_index": 7},
+    ])
+    def test_any_field_change_changes_the_key(self, changes):
+        base = quick_scenario()
+        assert scenario_cell_key(base) != scenario_cell_key(
+            base.with_(**changes)
+        )
+
+    def test_canonical_json_is_key_sorted_and_minified(self):
+        text = canonical_scenario_json(quick_scenario())
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text and ", " not in text
+
+    def test_python_equal_numeric_fields_hash_equally(self):
+        # int-specified values compare equal to their float forms and must
+        # land in the same cell (the serialised form coerces to float).
+        assert scenario_cell_key(
+            quick_scenario(crashes={3: 2}, max_time=60)
+        ) == scenario_cell_key(quick_scenario(crashes={3: 2.0}, max_time=60.0))
+
+    def test_key_is_stable_through_the_canonical_round_trip(self):
+        scenario = quick_scenario(crashes={3: 2}, max_time=60)
+        rebuilt = scenario_from_canonical_dict(
+            json.loads(canonical_scenario_json(scenario))
+        )
+        assert scenario_cell_key(rebuilt) == scenario_cell_key(scenario)
+
+    def test_canonical_round_trip_rebuilds_the_scenario(self):
+        scenario = quick_scenario(seed=9, crashes={3: 2.0},
+                                  loss=LossSpec.bernoulli(0.2))
+        rebuilt = scenario_from_canonical_dict(
+            json.loads(canonical_scenario_json(scenario))
+        )
+        assert rebuilt == scenario
+        assert scenario_cell_key(rebuilt) == scenario_cell_key(scenario)
+
+    def test_unserialisable_scenarios_are_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_cell_key(quick_scenario(hooks=(EngineHook(),)))
+        with pytest.raises(ValueError):
+            scenario_cell_key(
+                quick_scenario(workload=SingleBroadcast(sender=0))
+            )
+        with pytest.raises(ValueError):
+            scenario_cell_key(quick_scenario(metadata={"bad": object()}))
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        scenario = quick_scenario()
+        result = run_scenario(scenario)
+        with ResultStore(tmp_path / "store") as store:
+            row = store.put(result)
+            assert store.puts == 1
+            key = scenario_cell_key(scenario)
+            assert row.cell_key == key
+            assert store.contains(key) and store.hits == 1
+            fetched = store.get(key)
+            assert fetched == row
+            assert fetched.algorithm == "algorithm2"
+            assert fetched.all_properties_hold
+            assert fetched.mean_latency == result.metrics.mean_latency
+
+    def test_load_rebuilds_scenario_and_provenance(self, tmp_path):
+        scenario = quick_scenario(seed=5)
+        result = run_scenario(scenario)
+        with ResultStore(tmp_path / "store") as store:
+            row = store.put(result)
+            payload = store.load(row.cell_key)
+        assert payload["scenario"] == scenario
+        assert payload["result"]["schedule"] == result.simulation.schedule
+        assert payload["result"]["metrics"]["deliveries"] == (
+            result.metrics.deliveries
+        )
+
+    def test_miss_counters_and_missing_get(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            assert store.get("0" * 32) is None
+            assert not store.contains("0" * 32)
+            assert store.misses == 2 and store.hits == 0
+
+    def test_query_filters_and_order(self, tmp_path):
+        scenarios = [
+            quick_scenario(seed=s, loss=LossSpec.bernoulli(p) if p else
+                           LossSpec.none())
+            for p in (0.0, 0.2) for s in (0, 1)
+        ]
+        with ResultStore(tmp_path / "store") as store:
+            for scenario in scenarios:
+                store.put(run_scenario(scenario))
+            assert len(store) == 4
+            lossy = store.query(loss=0.2)
+            assert [r.seed for r in lossy] == [0, 1]
+            assert all(r.loss_kind == "bernoulli" for r in lossy)
+            assert len(store.query(algorithm="algorithm2")) == 4
+            assert store.query(algorithm="algorithm1") == []
+            assert len(store.query(all_hold=True)) == 4
+            assert len(store.query(limit=3)) == 3
+            with pytest.raises(StoreError):
+                store.query(nonsense=1)
+
+    def test_campaign_registration_guards(self, tmp_path):
+        cells = [(0, "g", "k0"), (1, "g", "k1")]
+        with ResultStore(tmp_path / "store") as store:
+            store.register_campaign("c1", "suite", cells)
+            with pytest.raises(StoreError, match="already exists"):
+                store.register_campaign("c1", "suite", cells)
+            # Identical manifest resumes fine.
+            store.register_campaign("c1", "suite", cells, resume=True)
+            with pytest.raises(StoreError, match="different cell list"):
+                store.register_campaign("c1", "suite", cells[:1], resume=True)
+            assert store.campaign_cells("c1") == cells
+            info = store.campaign_info("c1")
+            assert info.total == 2 and info.done == 0 and not info.complete
+            store.delete_campaign("c1")
+            assert store.campaign_info("c1") is None
+            with pytest.raises(StoreError):
+                store.delete_campaign("c1")
+
+    def test_schema_mismatch_is_loud(self, tmp_path):
+        root = tmp_path / "store"
+        with ResultStore(root) as store:
+            store._db.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+            )
+            store._db.commit()
+        with pytest.raises(SchemaMismatchError):
+            ResultStore(root)
+
+    def test_missing_store_without_create(self, tmp_path):
+        with pytest.raises(StoreError, match="no result store"):
+            ResultStore(tmp_path / "nowhere", create=False)
+
+    def test_store_path_that_is_a_file_raises_store_error(self, tmp_path):
+        target = tmp_path / "storefile"
+        target.write_text("not a directory")
+        with pytest.raises(StoreError, match="cannot use"):
+            ResultStore(target)
+
+    def test_gc_removes_orphans_and_repairs_missing_blobs(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            row_a = store.put(run_scenario(quick_scenario(seed=0)))
+            row_b = store.put(run_scenario(quick_scenario(seed=1)))
+            # Orphan blob: on disk, not indexed.
+            orphan = store._blob_path("ff" * 16)
+            orphan.parent.mkdir(exist_ok=True)
+            orphan.write_bytes(zlib.compress(b"{}"))
+            # Missing blob: indexed, vanished from disk.
+            store._blob_path(row_b.cell_key).unlink()
+            stats = store.gc()
+            assert stats.orphan_blobs == 1
+            assert stats.missing_blobs == 1
+            assert store.get(row_b.cell_key, count=False) is None
+            assert store.get(row_a.cell_key, count=False) is not None
+
+    def test_gc_drop_unreferenced(self, tmp_path):
+        scenario = quick_scenario()
+        with ResultStore(tmp_path / "store") as store:
+            Campaign(store, [scenario], name="keep").run()
+            store.put(run_scenario(quick_scenario(seed=77)))
+            assert len(store) == 2
+            stats = store.gc(drop_unreferenced=True)
+            assert stats.dropped_results == 1
+            assert len(store) == 1
+            assert store.contains(scenario_cell_key(scenario), count=False)
+
+
+class TestCounterexampleArtifacts:
+    def make_counterexample(self) -> Counterexample:
+        return Counterexample(
+            scenario=quick_scenario(algorithm="algorithm1_noretx"),
+            strategy="random_walk",
+            schedule_index=3,
+            seed=0,
+            schedule_hash="abcd1234abcd1234",
+            decisions=(("drop", 1, 2, 0), ("deliver", 0, 1, 1)),
+            violations=("Validity: nobody delivered",),
+            signature=("Validity",),
+            shrunk_decisions=(("drop", 1, 2, 0),),
+            shrunk_hash="ffff0000ffff0000",
+            shrunk_verified=True,
+            shrink_tests=5,
+        )
+
+    def test_put_query_export_round_trip(self, tmp_path):
+        counterexample = self.make_counterexample()
+        with ResultStore(tmp_path / "store") as store:
+            artifact_id = store.put_counterexample(counterexample)
+            rows = store.counterexamples()
+            assert len(rows) == 1
+            assert rows[0].artifact_id == artifact_id
+            assert rows[0].schedule_hash == "abcd1234abcd1234"
+            assert rows[0].signature == ("Validity",)
+            assert rows[0].algorithm == "algorithm1_noretx"
+            assert rows[0].shrunk_verified
+            # Export accepts the artifact id and (unambiguous) schedule hash.
+            exported = store.export_counterexample(artifact_id,
+                                                   tmp_path / "ce.json")
+            by_hash = store.export_counterexample("abcd1234abcd1234",
+                                                  tmp_path / "ce2.json")
+            data = json.loads(exported.read_text())
+            assert data == json.loads(by_hash.read_text())
+        from repro.explore.serialize import counterexample_to_dict
+
+        assert data == counterexample_to_dict(counterexample)
+
+    def test_same_schedule_different_scenarios_both_kept(self, tmp_path):
+        import dataclasses
+
+        first = self.make_counterexample()
+        # A different scenario can legitimately produce the same decision
+        # trace (hence schedule hash); both artifacts must survive.
+        second = dataclasses.replace(
+            first, scenario=first.scenario.with_seed(99))
+        with ResultStore(tmp_path / "store") as store:
+            id_a = store.put_counterexample(first)
+            id_b = store.put_counterexample(second)
+            assert id_a != id_b
+            assert len(store.counterexamples()) == 2
+            # The shared schedule hash is now ambiguous as a reference.
+            with pytest.raises(StoreError, match="matches 2"):
+                store.load_counterexample_dict("abcd1234abcd1234")
+            assert store.load_counterexample_dict(id_b)["scenario"]["seed"] == 99
+
+    def test_re_storing_the_same_artifact_is_idempotent(self, tmp_path):
+        counterexample = self.make_counterexample()
+        with ResultStore(tmp_path / "store") as store:
+            first = store.put_counterexample(counterexample)
+            second = store.put_counterexample(counterexample)
+            assert first == second
+            assert len(store.counterexamples()) == 1
+
+    def test_unknown_counterexample_raises(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            with pytest.raises(StoreError):
+                store.load_counterexample_dict("nope")

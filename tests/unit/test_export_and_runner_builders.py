@@ -16,6 +16,9 @@ from repro.experiments.export import (
     artifact_to_dict,
     experiment_result_to_dict,
     load_experiment_json,
+    load_scenario_json,
+    provenance_from_dict,
+    provenance_to_dict,
     rows_from_csv,
     scenario_result_to_dict,
     write_artifact_csv,
@@ -112,6 +115,62 @@ class TestScenarioExport:
         loaded = json.loads(path.read_text(encoding="utf-8"))
         assert loaded["metrics"]["deliveries"] >= 3
         assert loaded["stop_reason"] == "quiescent"
+
+
+class TestScenarioExportRoundTrip:
+    """Exported results must reload equal-to-source, including the
+    ``ScheduleProvenance`` fields every run carries since the schedule
+    exploration work."""
+
+    def test_provenance_round_trips_exactly(self, sample_scenario_result):
+        provenance = sample_scenario_result.simulation.schedule
+        assert provenance is not None
+        rebuilt = provenance_from_dict(provenance_to_dict(provenance))
+        assert rebuilt == provenance
+
+    def test_none_provenance_passes_through(self):
+        assert provenance_to_dict(None) is None
+        assert provenance_from_dict(None) is None
+
+    def test_written_file_reloads_equal_to_source(self, sample_scenario_result,
+                                                  tmp_path):
+        path = write_scenario_json(sample_scenario_result, tmp_path / "r.json")
+        loaded = load_scenario_json(path)
+        source = sample_scenario_result
+        assert loaded["schedule"] == source.simulation.schedule
+        # JSON object keys are strings; normalise the int-keyed counters.
+        assert loaded["metrics"] == {
+            key: ({str(k): v for k, v in value.items()}
+                  if isinstance(value, dict) else value)
+            for key, value in source.metrics.as_dict().items()
+        }
+        assert loaded["final_time"] == source.simulation.final_time
+        assert loaded["verdict"]["validity"] == source.verdict.validity.holds
+        assert loaded["quiescence"]["last_send_time"] == (
+            source.quiescence.last_send_time
+        )
+        assert loaded["deliveries"] == {
+            str(index): log.contents()
+            for index, log in source.simulation.delivery_logs.items()
+        }
+
+    def test_controlled_run_provenance_round_trips_decisions(self, tmp_path):
+        # A strategy-driven run records a non-empty decision trace; the
+        # export must preserve it tuple-for-tuple.
+        scenario = Scenario(
+            algorithm="algorithm1", n_processes=4, seed=3, max_time=60.0,
+            stop_when_all_correct_delivered=True, drain_grace_period=2.0,
+            explore_strategy="random_walk", explore_index=2,
+        )
+        result = run_scenario(scenario)
+        provenance = result.simulation.schedule
+        assert provenance is not None
+        assert provenance.decisions  # controlled runs record decisions
+        path = write_scenario_json(result, tmp_path / "controlled.json")
+        loaded = load_scenario_json(path)
+        assert loaded["schedule"] == provenance
+        assert loaded["schedule"].decisions == provenance.decisions
+        assert loaded["schedule"].schedule_hash == provenance.schedule_hash
 
 
 class TestRunnerBuilders:
