@@ -435,6 +435,80 @@ def _bench_campaign_store(quick: bool):
         shutil.rmtree(root, ignore_errors=True)
 
 
+@register_bench(
+    "campaign_merge",
+    "Store-merge throughput: union of sharded worker stores with overlap",
+)
+def _bench_campaign_merge(quick: bool):
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from repro.campaigns import ResultStore, scenario_cell_key
+    from repro.campaigns.distributed import merge_stores
+    from repro.experiments.runner import run_scenario
+
+    # Quick mode still merges a sizeable shard set: a merge of a few dozen
+    # cells finishes in milliseconds, where SQLite fsync jitter alone would
+    # blow the CI regression gate.
+    cells = 480 if quick else 1200
+    shards = 4
+    # One real (untimed) simulation provides the payload; seed variants give
+    # distinct content addresses.  Each shard holds its slice plus a few
+    # cells of its neighbour's — the overlap a reclaimed lease produces —
+    # so the timed region covers both the copy path and the
+    # already-present semantic-compare path.
+    template = run_scenario(Scenario(
+        name="bench-campaign-merge",
+        algorithm="algorithm2",
+        n_processes=4,
+        seed=0,
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=120.0,
+    ))
+    results = [
+        dataclasses.replace(template,
+                            scenario=template.scenario.with_seed(seed))
+        for seed in range(cells)
+    ]
+    overlap = max(1, cells // shards // 4)
+    root = Path(tempfile.mkdtemp(prefix="bench-campaign-merge-"))
+    try:
+        shard_roots = []
+        for shard in range(shards):
+            shard_root = root / f"worker-{shard}"
+            shard_roots.append(shard_root)
+            lo = shard * cells // shards
+            hi = (shard + 1) * cells // shards
+            with ResultStore(shard_root) as store:
+                for result in results[lo:min(hi + overlap, cells)]:
+                    store.put(result,
+                              cell_key=scenario_cell_key(result.scenario))
+        with ResultStore(root / "merged") as dest:
+            sources = [ResultStore(r, create=False) for r in shard_roots]
+            try:
+                start = time.perf_counter()
+                stats = merge_stores(dest, sources)
+                elapsed = time.perf_counter() - start
+            finally:
+                for source in sources:
+                    source.close()
+        if stats.copied != cells:
+            raise RuntimeError(
+                f"merged {stats.copied} cell(s), expected {cells}")
+        ops = stats.copied + stats.skipped
+        meta = {
+            "cells": cells,
+            "shards": shards,
+            "copied": stats.copied,
+            "skipped": stats.skipped,
+        }
+        return elapsed, ops, ops, meta
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _experiment_bench(module_name: str):
     """Wrap an experiment module (as driven by ``bench_<name>.py``)."""
 

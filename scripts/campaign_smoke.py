@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Campaign kill/resume smoke test (the CI `campaign` job).
+"""Campaign kill/resume smoke test (the CI `campaign` and `distributed` jobs).
 
 Drives the ``repro-urb campaign`` CLI the way an operator would:
 
@@ -10,12 +10,23 @@ Drives the ``repro-urb campaign`` CLI the way an operator would:
 3. run the same sweep single-shot into a fresh store and assert the two
    aggregate tables are byte-identical.
 
+With ``--distributed`` it instead exercises the coordinator/worker path
+(the CI `distributed` job):
+
+1. start ``campaign serve`` plus three ``campaign work`` processes;
+2. SIGKILL one worker while it demonstrably holds a lease with recorded
+   progress, and assert the lease table shows the lease was reclaimed;
+3. assert the merged store is complete, the dead worker's partial store
+   deduplicated against the re-executed cells, and the aggregate table is
+   byte-identical to a single-shot run of the same sweep.
+
 Exits non-zero (with a diagnostic) on any violated invariant.  The store
 directory is left behind so CI can upload it as an artifact.
 
 Usage::
 
     python scripts/campaign_smoke.py [--workdir campaign-smoke] [--parallel 2]
+    python scripts/campaign_smoke.py --distributed [--workdir dist-smoke]
 """
 
 from __future__ import annotations
@@ -81,6 +92,144 @@ def extract_table(output: str) -> str:
     return output[index:].rstrip()
 
 
+# --------------------------------------------------------------------------- #
+# distributed phase (--distributed): 3 workers, SIGKILL one mid-lease
+# --------------------------------------------------------------------------- #
+def lease_query(job: Path, sql: str, params: tuple = ()) -> int:
+    """One integer aggregate off the job's lease table (0 before it exists
+    or while it is briefly locked)."""
+    database = job / "leases.sqlite"
+    if not database.exists():
+        return 0
+    try:
+        with sqlite3.connect(database, timeout=5) as connection:
+            row = connection.execute(sql, params).fetchone()
+            return int(row[0]) if row and row[0] is not None else 0
+    except sqlite3.OperationalError:
+        return 0
+
+
+def victim_holds_lease_with_progress(job: Path, worker: str) -> bool:
+    """Whether *worker* currently leases a range it has recorded progress
+    on — the kill point that guarantees both a reclamation (the range can
+    no longer complete) and a store overlap (the recorded cell was
+    persisted, and will be re-executed elsewhere)."""
+    return lease_query(
+        job,
+        "SELECT COALESCE(SUM(done_cells), 0) FROM ranges "
+        "WHERE state = 'leased' AND worker = ?",
+        (worker,),
+    ) >= 1
+
+
+def distributed_smoke(workdir: Path, env: dict[str, str]) -> int:
+    job = workdir / "job"
+    merged_store = workdir / "merged"
+    fresh_store = workdir / "single-shot"
+
+    # ------------------------------------------------------------------ #
+    # 1. coordinator + 3 workers; short leases so reclamation is fast
+    # ------------------------------------------------------------------ #
+    print("starting coordinator and 3 workers, will SIGKILL one mid-lease...")
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "serve",
+         "--store", str(merged_store), "--workdir", str(job),
+         "--name", "smoke", *SWEEP_ARGS,
+         "--lease-timeout", "5", "--range-size", "4",
+         "--timeout", "420", "--poll-interval", "0.2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    workers = {
+        name: subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "work",
+             "--workdir", str(job), "--worker-id", name,
+             "--poll-interval", "0.05", "--wait-for-job", "60"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        for name in ("w0", "w1", "w2")
+    }
+    victim = workers["w0"]
+
+    # ------------------------------------------------------------------ #
+    # 2. SIGKILL the victim while it provably holds a lease mid-range
+    # ------------------------------------------------------------------ #
+    deadline = time.monotonic() + 120
+    killed = False
+    while time.monotonic() < deadline:
+        if serve.poll() is not None or victim.poll() is not None:
+            break  # job finished (or victim exited) before the kill landed
+        if victim_holds_lease_with_progress(job, "w0"):
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+            killed = True
+            break
+        time.sleep(0.02)
+    try:
+        serve_out, serve_err = serve.communicate(timeout=420)
+    except subprocess.TimeoutExpired:
+        serve.kill()
+        for process in workers.values():
+            process.kill()
+        return fail("coordinator did not finish in time")
+    for name, process in workers.items():
+        if name != "w0" or not killed:
+            process.communicate(timeout=120)
+    if not killed:
+        return fail("never caught the victim worker holding a lease with "
+                    "progress — kill point unreachable "
+                    f"(serve rc={serve.returncode})")
+    print("victim worker w0 SIGKILLed mid-lease")
+    if serve.returncode != 0:
+        return fail(f"serve failed (rc={serve.returncode}):\n{serve_out}\n"
+                    f"{serve_err}")
+
+    # ------------------------------------------------------------------ #
+    # 3. the kill must have cost w0 its lease: reclaims recorded, job done
+    # ------------------------------------------------------------------ #
+    reclaims = lease_query(
+        job, "SELECT COALESCE(SUM(attempts - 1), 0) FROM ranges "
+             "WHERE attempts > 1")
+    print(f"lease reclaims recorded: {reclaims}")
+    if reclaims < 1:
+        return fail("victim was killed mid-lease but no lease was reclaimed")
+    if stored_cells(merged_store) != 24:
+        return fail(f"merged store holds {stored_cells(merged_store)} "
+                    "cell(s), expected 24")
+    overlap = re.search(r"(\d+) already present", serve_out)
+    if overlap is None or int(overlap.group(1)) < 1:
+        return fail(
+            "expected the dead worker's partial store to overlap the "
+            f"re-executed cells, but the merge deduplicated none:\n{serve_out}"
+        )
+    print(f"merge deduplicated {overlap.group(1)} re-executed cell(s) "
+          "against the dead worker's partial store")
+
+    # ------------------------------------------------------------------ #
+    # 4. byte-identical aggregates vs a single-shot run of the same sweep
+    # ------------------------------------------------------------------ #
+    single = subprocess.run(
+        campaign_command(fresh_store),
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if single.returncode != 0:
+        return fail(f"single-shot run failed (rc={single.returncode}):\n"
+                    f"{single.stdout}\n{single.stderr}")
+    distributed_table = extract_table(serve_out)
+    single_table = extract_table(single.stdout)
+    if distributed_table != single_table:
+        return fail(
+            "aggregate tables differ between the distributed campaign and "
+            f"the single-shot campaign:\n--- distributed ---\n"
+            f"{distributed_table}\n--- single-shot ---\n{single_table}"
+        )
+    print("aggregate table identical to the single-shot run:")
+    print(single_table)
+    print("SMOKE OK: worker killed mid-lease, lease reclaimed, merge "
+          "deduplicated the partial store, aggregates are bit-identical")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workdir", type=Path,
@@ -89,12 +238,17 @@ def main(argv: list[str] | None = None) -> int:
                              "artifact upload)")
     parser.add_argument("--parallel", type=int, default=2,
                         help="worker processes for the killed/resumed run")
+    parser.add_argument("--distributed", action="store_true",
+                        help="run the coordinator/worker kill-one smoke "
+                             "instead of the single-process kill/resume one")
     args = parser.parse_args(argv)
 
     workdir: Path = args.workdir
     if workdir.exists():
         shutil.rmtree(workdir)
     workdir.mkdir(parents=True)
+    if args.distributed:
+        return distributed_smoke(workdir, run_env())
     killed_store = workdir / "killed"
     fresh_store = workdir / "single-shot"
     env = run_env()

@@ -20,6 +20,21 @@ run/status/query/export/gc``.
 """
 
 from .campaign import Campaign, CampaignReport, run_campaign
+from .distributed import (
+    CampaignPlan,
+    Coordinator,
+    CoordinatorReport,
+    LeaseError,
+    LeaseTable,
+    MergeConflictError,
+    MergeStats,
+    Worker,
+    WorkerReport,
+    merge_store_paths,
+    merge_stores,
+    plan_campaign,
+    run_worker,
+)
 from .hashing import (
     HASH_VERSION,
     canonical_scenario_dict,
@@ -47,21 +62,33 @@ from .store import (
 __all__ = [
     "Campaign",
     "CampaignInfo",
+    "CampaignPlan",
     "CampaignReport",
+    "Coordinator",
+    "CoordinatorReport",
     "CounterexampleRow",
     "GcStats",
     "HASH_VERSION",
+    "LeaseError",
+    "LeaseTable",
+    "MergeConflictError",
+    "MergeStats",
     "ResultStore",
     "SCHEMA_VERSION",
     "SchemaMismatchError",
     "StoreError",
     "StoredRow",
+    "Worker",
+    "WorkerReport",
     "campaign_groups",
     "campaign_report",
     "campaign_table",
     "canonical_scenario_dict",
     "canonical_scenario_json",
     "format_group_rows",
+    "merge_store_paths",
+    "merge_stores",
+    "plan_campaign",
     "query_table",
     "run_campaign",
     "scenario_cell_key",

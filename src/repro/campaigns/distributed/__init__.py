@@ -1,0 +1,54 @@
+"""Distributed campaign execution: coordinator/worker sharding over a
+shared lease table, with idempotent store merge.
+
+See :mod:`~repro.campaigns.distributed.leases` for the lease protocol and
+failure model, :mod:`~repro.campaigns.distributed.merge` for the merge
+semantics, and DESIGN.md §11 for the full design discussion.
+"""
+
+from .coordinator import Coordinator, CoordinatorReport, StatusCallback
+from .leases import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_RANGE_SIZE,
+    JobCell,
+    JobStatus,
+    LEASE_SCHEMA_VERSION,
+    LeaseError,
+    LeaseTable,
+    RangeGrant,
+    default_worker_id,
+)
+from .merge import MergeConflictError, MergeStats, merge_store_paths, merge_stores
+from .planning import (
+    DEFAULT_CELL_SECONDS,
+    DEFAULT_WORKER_COUNTS,
+    CampaignPlan,
+    plan_campaign,
+)
+from .worker import Worker, WorkerReport, run_worker
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorReport",
+    "StatusCallback",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_RANGE_SIZE",
+    "LEASE_SCHEMA_VERSION",
+    "JobCell",
+    "JobStatus",
+    "LeaseError",
+    "LeaseTable",
+    "RangeGrant",
+    "default_worker_id",
+    "MergeConflictError",
+    "MergeStats",
+    "merge_store_paths",
+    "merge_stores",
+    "DEFAULT_CELL_SECONDS",
+    "DEFAULT_WORKER_COUNTS",
+    "CampaignPlan",
+    "plan_campaign",
+    "Worker",
+    "WorkerReport",
+    "run_worker",
+]

@@ -1,0 +1,200 @@
+"""The coordinator side of a distributed campaign.
+
+A :class:`Coordinator` owns the job lifecycle:
+
+1. **prepare** — expand the :class:`~repro.experiments.batch.ScenarioSuite`
+   into content-addressed cells and write the lease table (manifest plus
+   initial range partition) into the job workdir;
+2. **wait** — poll the lease table until every range is done, reporting
+   progress (the workers are separate processes; the coordinator never
+   executes cells itself);
+3. **finalize** — merge every registered worker store into the destination
+   store and register the campaign manifest there, so ``campaign report``
+   renders the distributed run exactly like a single-shot one.
+
+The coordinator is stateless beyond the lease database: killing it and
+re-running ``campaign serve`` against the same workdir resumes coordination
+without losing any completed work (``initialise`` is idempotent on an
+identical manifest, the merge is idempotent by content hash).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ...experiments.batch import ScenarioSuite, SuiteItem, normalise_suite
+from ...experiments.config import Scenario
+from ..hashing import canonical_scenario_dict, scenario_cell_key
+from ..store import ResultStore
+from .leases import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_RANGE_SIZE,
+    JobStatus,
+    LeaseError,
+    LeaseTable,
+)
+from .merge import MergeStats, merge_stores
+
+#: Called on every poll with the current aggregate job status.
+StatusCallback = Callable[[JobStatus], None]
+
+
+@dataclass(frozen=True)
+class CoordinatorReport:
+    """Outcome of one :meth:`Coordinator.serve` lifecycle."""
+
+    name: str
+    workdir: Path
+    store_root: Path
+    status: JobStatus
+    merge: MergeStats
+    worker_stores: tuple[Path, ...]
+    elapsed_seconds: float
+
+    def describe(self) -> str:
+        """One-line summary for the CLI."""
+        return (
+            f"job {self.name!r}: {self.status.describe()}; "
+            f"{self.merge.describe()} ({self.elapsed_seconds:.2f}s)"
+        )
+
+
+class Coordinator:
+    """Drives one distributed campaign job from a suite to a merged store.
+
+    Parameters
+    ----------
+    workdir:
+        Job directory shared with the workers (holds ``leases.sqlite`` and,
+        by default, the per-worker stores).
+    suite:
+        Anything :func:`normalise_suite` accepts — a
+        :class:`ScenarioSuite`, scenarios, or pre-built items.
+    name:
+        Campaign name registered in the destination store at finalize time
+        (defaults to the suite name).
+    lease_timeout / range_size:
+        Lease protocol knobs, recorded in the lease table at prepare time.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        suite: Union[ScenarioSuite, Iterable[Scenario], Sequence[SuiteItem]],
+        *,
+        name: Optional[str] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        range_size: int = DEFAULT_RANGE_SIZE,
+    ) -> None:
+        self.workdir = Path(workdir)
+        self.suite_name, self.items = normalise_suite(suite)
+        self.name = name or self.suite_name
+        self.lease_timeout = lease_timeout
+        self.range_size = range_size
+        self._keys = tuple(scenario_cell_key(item.scenario)
+                           for item in self.items)
+
+    # ------------------------------------------------------------------ #
+    def manifest_rows(self) -> list[tuple[int, str, str]]:
+        """``(position, group, cell_key)`` of every cell, in suite order."""
+        return [(item.index, item.group, key)
+                for item, key in zip(self.items, self._keys)]
+
+    def prepare(self) -> None:
+        """Write the lease table (idempotent on an identical manifest)."""
+        with LeaseTable(self.workdir, create=True) as table:
+            table.initialise(
+                name=self.name,
+                suite_name=self.suite_name,
+                cells=[
+                    (item.index, item.group, key,
+                     canonical_scenario_dict(item.scenario))
+                    for item, key in zip(self.items, self._keys)
+                ],
+                lease_timeout=self.lease_timeout,
+                range_size=self.range_size,
+            )
+
+    def wait(
+        self,
+        *,
+        poll_interval: float = 0.5,
+        timeout: Optional[float] = None,
+        on_status: Optional[StatusCallback] = None,
+    ) -> JobStatus:
+        """Poll the lease table until every range completes.
+
+        *timeout* bounds the wait in seconds (``None`` waits forever);
+        expiry raises :class:`LeaseError` carrying the last status, since a
+        stuck distributed job is an operational failure the caller must see.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with LeaseTable(self.workdir) as table:
+            while True:
+                status = table.status()
+                if on_status is not None:
+                    on_status(status)
+                if status.complete:
+                    return status
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise LeaseError(
+                        f"job {self.name!r} did not complete within "
+                        f"{timeout:.1f}s: {status.describe()}"
+                    )
+                time.sleep(poll_interval)
+
+    def finalize(self, store: ResultStore) -> MergeStats:
+        """Merge every registered worker store into *store* and register
+        the campaign manifest there.
+
+        Idempotent: cells already merged are skipped by content hash, and
+        re-registering the identical manifest is the resume path.
+        """
+        with LeaseTable(self.workdir) as table:
+            worker_roots = table.worker_stores()
+        sources = [ResultStore(root, create=False) for root in worker_roots]
+        try:
+            stats = merge_stores(store, sources)
+        finally:
+            for source in sources:
+                source.close()
+        resume = store.campaign_info(self.name) is not None
+        store.register_campaign(self.name, self.suite_name,
+                                self.manifest_rows(), resume=resume)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        store: Union[ResultStore, str, Path],
+        *,
+        poll_interval: float = 0.5,
+        timeout: Optional[float] = None,
+        on_status: Optional[StatusCallback] = None,
+    ) -> CoordinatorReport:
+        """The full lifecycle: prepare, wait for workers, merge, register."""
+        started = time.perf_counter()
+        self.prepare()
+        status = self.wait(poll_interval=poll_interval, timeout=timeout,
+                           on_status=on_status)
+        if isinstance(store, (str, Path)):
+            with ResultStore(store) as handle:
+                merge = self.finalize(handle)
+                store_root = handle.root
+        else:
+            merge = self.finalize(store)
+            store_root = store.root
+        with LeaseTable(self.workdir) as table:
+            worker_roots = tuple(table.worker_stores())
+        return CoordinatorReport(
+            name=self.name,
+            workdir=self.workdir,
+            store_root=store_root,
+            status=status,
+            merge=merge,
+            worker_stores=worker_roots,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,179 @@
+"""Cost planning for distributed campaigns.
+
+``plan_campaign`` answers, before anyone starts workers: *how much wall
+time does this suite cost, and how many workers are worth starting?*  The
+estimate comes from data the store already has — schema 2 indexes per-cell
+``wall_time`` — so a plan gets sharper as more of the parameter space has
+ever been executed:
+
+* cells of the suite already stored are free (the campaign machinery skips
+  them) and contribute their *measured* wall time to the per-cell estimate;
+* for the rest, the estimate falls back to the store-wide mean, then to an
+  assumed default, and says which it used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from ...experiments.batch import ScenarioSuite, SuiteItem, normalise_suite
+from ...experiments.config import Scenario
+from ...experiments.report import ExperimentArtifact
+from ..hashing import scenario_cell_key
+from ..store import ResultStore
+
+#: Per-cell estimate when no timing data exists anywhere (seconds).
+DEFAULT_CELL_SECONDS = 0.5
+
+#: Worker counts the suggestion table evaluates.
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The wall-cost estimate for one suite against one store."""
+
+    suite_name: str
+    total_cells: int
+    stored_cells: int
+    pending_cells: int
+    #: Mean measured seconds per cell, and how many measurements back it.
+    mean_cell_seconds: float
+    timed_cells: int
+    #: Where the per-cell figure came from: ``"suite"`` (timings of these
+    #: exact cells), ``"store"`` (store-wide mean) or ``"assumed"``.
+    estimate_basis: str
+    #: Estimated sequential wall seconds for the pending cells.
+    est_sequential_seconds: float
+    #: ``(workers, est_wall_seconds)`` suggestions, ascending workers.
+    suggestions: tuple[tuple[int, float], ...]
+    #: Workers needed to finish within the target (``None`` = already 0s).
+    suggested_workers: Optional[int]
+    target_seconds: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan."""
+        lines = [
+            f"plan for suite {self.suite_name!r}: {self.total_cells} "
+            f"cell(s), {self.stored_cells} already stored, "
+            f"{self.pending_cells} to execute",
+            f"per-cell estimate: {self.mean_cell_seconds:.3f}s "
+            f"({self.estimate_basis}, {self.timed_cells} timed cell(s))",
+            f"estimated sequential cost: {self.est_sequential_seconds:.1f}s",
+        ]
+        if self.suggested_workers is not None:
+            lines.append(
+                f"suggested workers for <= {self.target_seconds:.0f}s wall "
+                f"time: {self.suggested_workers}"
+            )
+        else:
+            lines.append("nothing to execute — no workers needed")
+        return "\n".join(lines)
+
+    def table(self) -> ExperimentArtifact:
+        """The worker-count suggestion table as a renderable artifact."""
+        return ExperimentArtifact(
+            name=f"Plan for suite {self.suite_name!r}",
+            kind="table",
+            headers=["workers", "est wall s", "speedup"],
+            rows=[
+                [
+                    workers,
+                    f"{seconds:.1f}",
+                    f"{self.est_sequential_seconds / seconds:.1f}x"
+                    if seconds > 0 else "-",
+                ]
+                for workers, seconds in self.suggestions
+            ],
+            notes=(
+                f"{self.pending_cells} pending cell(s) at "
+                f"{self.mean_cell_seconds:.3f}s/cell "
+                f"({self.estimate_basis} basis)"
+            ),
+        )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def plan_campaign(
+    suite: Union[ScenarioSuite, Iterable[Scenario], Sequence[SuiteItem]],
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    *,
+    target_seconds: float = 60.0,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    default_cell_seconds: float = DEFAULT_CELL_SECONDS,
+) -> CampaignPlan:
+    """Estimate the wall cost of running *suite* against *store*.
+
+    With no store (or an empty one) the plan is built from
+    *default_cell_seconds* and labelled ``assumed`` — still useful for
+    picking a worker count, honest about its basis.
+    """
+    if target_seconds <= 0:
+        raise ValueError("target_seconds must be positive")
+    suite_name, items = normalise_suite(suite)
+    keys = [scenario_cell_key(item.scenario) for item in items]
+    unique_keys = list(dict.fromkeys(keys))
+
+    if isinstance(store, (str, Path)):
+        with ResultStore(store, create=False) as handle:
+            return plan_campaign(
+                suite, handle,
+                target_seconds=target_seconds, worker_counts=worker_counts,
+                default_cell_seconds=default_cell_seconds,
+            )
+
+    stored = 0
+    suite_timings: list[float] = []
+    store_timings: list[float] = []
+    if store is not None:
+        for key in unique_keys:
+            row = store.get(key, count=False)
+            if row is not None:
+                stored += 1
+                if row.wall_time is not None:
+                    suite_timings.append(row.wall_time)
+        store_timings = [
+            row.wall_time for row in store.query()
+            if row.wall_time is not None
+        ]
+
+    if suite_timings:
+        mean_seconds, basis, timed = (_mean(suite_timings), "suite",
+                                      len(suite_timings))
+    elif store_timings:
+        mean_seconds, basis, timed = (_mean(store_timings), "store",
+                                      len(store_timings))
+    else:
+        mean_seconds, basis, timed = default_cell_seconds, "assumed", 0
+
+    pending = len(unique_keys) - stored
+    est_sequential = pending * mean_seconds
+    counts = sorted({max(1, int(count)) for count in worker_counts})
+    suggestions = tuple(
+        (count, est_sequential / count if pending else 0.0)
+        for count in counts
+    )
+    if pending == 0:
+        suggested: Optional[int] = None
+    else:
+        suggested = max(1, min(pending,
+                               math.ceil(est_sequential / target_seconds)))
+    return CampaignPlan(
+        suite_name=suite_name,
+        total_cells=len(unique_keys),
+        stored_cells=stored,
+        pending_cells=pending,
+        mean_cell_seconds=mean_seconds,
+        timed_cells=timed,
+        estimate_basis=basis,
+        est_sequential_seconds=est_sequential,
+        suggestions=suggestions,
+        suggested_workers=suggested,
+        target_seconds=target_seconds,
+    )

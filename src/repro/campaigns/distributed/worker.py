@@ -1,0 +1,208 @@
+"""The worker side of a distributed campaign.
+
+A :class:`Worker` leases cell ranges from the job's
+:class:`~repro.campaigns.distributed.leases.LeaseTable`, executes each cell
+with the ordinary :func:`~repro.experiments.runner.run_scenario`, and
+persists results into its *own* :class:`~repro.campaigns.store.ResultStore`
+— workers never share a store, so there is no write contention; the
+coordinator merges the per-worker stores when the job completes.
+
+The worker heartbeats through the same statements that record progress
+(every ``record_cell_done`` refreshes the lease), renews explicitly before
+each cell, and abandons a range the moment any guarded call reports the
+lease lost.  Abandonment is cheap and safe: whatever the worker persisted
+is content-addressed, so the eventual merge deduplicates it against the
+re-execution by the new lease holder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from ...experiments.runner import run_scenario
+from ..hashing import scenario_from_canonical_dict
+from ..store import ResultStore
+from .leases import LeaseError, LeaseTable, RangeGrant, default_worker_id
+
+#: Called after every processed cell: ``(worker_id, done_in_this_worker)``.
+WorkerProgress = Callable[[str, int], None]
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`Worker.run` invocation did."""
+
+    worker_id: str
+    store_root: Path
+    ranges_completed: int = 0
+    ranges_abandoned: int = 0
+    cells_executed: int = 0
+    cells_cached: int = 0
+    elapsed_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line summary for the CLI."""
+        return (
+            f"worker {self.worker_id}: {self.cells_executed} cell(s) "
+            f"executed, {self.cells_cached} cached, "
+            f"{self.ranges_completed} range(s) completed, "
+            f"{self.ranges_abandoned} abandoned, {len(self.errors)} "
+            f"error(s) ({self.elapsed_seconds:.2f}s)"
+        )
+
+
+class Worker:
+    """One lease-driven executor process.
+
+    Parameters
+    ----------
+    workdir:
+        The job directory holding ``leases.sqlite`` (a shared path).
+    store_root:
+        This worker's private result store (created on demand).  Defaults
+        to ``workdir/workers/<worker_id>/store``.
+    worker_id:
+        Stable identity used in leases; defaults to ``<host>-<pid>``.
+    poll_interval:
+        Seconds to sleep when nothing is claimable but the job is still
+        incomplete (someone else's lease may yet expire).
+    worker_plugins:
+        Modules imported before executing anything (third-party registry
+        registrations), mirroring the batch runner's hook.
+    wait_for_job:
+        Seconds to wait for the lease table to appear before giving up —
+        lets workers be launched alongside (or before) ``campaign serve``.
+        ``0`` (the default) requires the job to already exist.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        *,
+        store_root: Optional[str | Path] = None,
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.2,
+        worker_plugins: Sequence[str] = (),
+        wait_for_job: float = 0.0,
+    ) -> None:
+        self.workdir = Path(workdir)
+        self.worker_id = worker_id or default_worker_id()
+        self.store_root = Path(
+            store_root if store_root is not None
+            else self.workdir / "workers" / self.worker_id / "store"
+        )
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.poll_interval = poll_interval
+        self.worker_plugins = tuple(worker_plugins)
+        self.wait_for_job = wait_for_job
+
+    def _open_lease_table(self) -> LeaseTable:
+        deadline = time.monotonic() + self.wait_for_job
+        while True:
+            try:
+                return LeaseTable(self.workdir)
+            except LeaseError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(self.poll_interval, 0.2))
+
+    # ------------------------------------------------------------------ #
+    def run(self, *, progress: Optional[WorkerProgress] = None,
+            max_ranges: Optional[int] = None) -> WorkerReport:
+        """Lease and execute ranges until the job completes.
+
+        ``max_ranges`` bounds how many grants this call processes (testing
+        hook); ``None`` runs until every range in the job is done.
+        """
+        import importlib
+
+        for module_name in self.worker_plugins:
+            importlib.import_module(module_name)
+        started = time.perf_counter()
+        report = WorkerReport(worker_id=self.worker_id,
+                              store_root=self.store_root)
+        # Connections are opened inside run() so one Worker object can be
+        # driven from a fresh thread or process without sharing handles.
+        with self._open_lease_table() as table, \
+                ResultStore(self.store_root) as store:
+            table.register_worker(self.worker_id, self.store_root)
+            while max_ranges is None or report.ranges_completed + \
+                    report.ranges_abandoned < max_ranges:
+                grant = table.claim(self.worker_id)
+                if grant is None:
+                    if table.status().complete:
+                        break
+                    time.sleep(self.poll_interval)
+                    continue
+                self._execute_grant(table, store, grant, report, progress)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _execute_grant(
+        self,
+        table: LeaseTable,
+        store: ResultStore,
+        grant: RangeGrant,
+        report: WorkerReport,
+        progress: Optional[WorkerProgress],
+    ) -> None:
+        for cell in grant.cells:
+            if not table.renew(grant):
+                report.ranges_abandoned += 1
+                return
+            if store.contains(cell.cell_key, count=False):
+                # Cached from an earlier lease of this worker (or a shared
+                # store) — report progress without re-simulating.
+                report.cells_cached += 1
+            else:
+                try:
+                    scenario = scenario_from_canonical_dict(cell.scenario)
+                    result = run_scenario(scenario)
+                except Exception as exc:  # noqa: BLE001 - isolate like batch
+                    report.errors.append(
+                        f"cell {cell.position} ({cell.group}): {exc!r}"
+                    )
+                    # The cell is not persisted; completing the range would
+                    # silently drop it, so abandon and let the lease expire
+                    # path retry it elsewhere.
+                    report.ranges_abandoned += 1
+                    return
+                store.put(result, cell_key=cell.cell_key)
+                report.cells_executed += 1
+            if progress is not None:
+                progress(self.worker_id,
+                         report.cells_executed + report.cells_cached)
+            if not table.record_cell_done(grant):
+                report.ranges_abandoned += 1
+                return
+        if table.complete_range(grant):
+            report.ranges_completed += 1
+        else:
+            report.ranges_abandoned += 1
+
+
+def run_worker(
+    workdir: str | Path,
+    *,
+    store_root: Optional[str | Path] = None,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    worker_plugins: Sequence[str] = (),
+    wait_for_job: float = 0.0,
+    progress: Optional[WorkerProgress] = None,
+) -> WorkerReport:
+    """One-call convenience wrapper mirroring :func:`run_campaign`."""
+    return Worker(
+        workdir,
+        store_root=store_root,
+        worker_id=worker_id,
+        poll_interval=poll_interval,
+        worker_plugins=worker_plugins,
+        wait_for_job=wait_for_job,
+    ).run(progress=progress)

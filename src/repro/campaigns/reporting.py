@@ -134,6 +134,7 @@ def query_table(store: ResultStore, *, limit: Optional[int] = None,
             row.all_hold,
             row.quiescent,
             f"{row.mean_latency:.3f}" if row.mean_latency is not None else "-",
+            f"{row.wall_time:.3f}" if row.wall_time is not None else "-",
             row.stop_reason,
         ]
         for row in rows
@@ -143,7 +144,8 @@ def query_table(store: ResultStore, *, limit: Optional[int] = None,
         name=f"Query [{described}]" if described else "Query [all]",
         kind="table",
         headers=["cell", "algorithm", "n", "crashes", "seed", "loss",
-                 "URB ok", "quiescent", "mean latency", "stop reason"],
+                 "URB ok", "quiescent", "mean latency", "wall s",
+                 "stop reason"],
         rows=table_rows,
         notes=f"{len(table_rows)} row(s)",
     )

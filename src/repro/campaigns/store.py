@@ -57,7 +57,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..explore.explorer import Counterexample
 
 #: Bump when the index or blob layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Blob payload versions :meth:`ResultStore.load` accepts.  Version 2 added
+#: the per-cell ``wall_time`` *index* column only — the blob layout is
+#: unchanged — so version-1 blobs remain readable (tolerant read).
+_SUPPORTED_BLOB_VERSIONS = frozenset({1, 2})
+
+#: Index schema versions an opening handle knows how to bring up to date.
+#: 1 → 2 adds the nullable ``results.wall_time`` column in place.
+_MIGRATABLE_VERSIONS = frozenset({1})
+
+#: How long a handle waits on another writer before erroring (milliseconds).
+_BUSY_TIMEOUT_MS = 30_000
 
 _INDEX_NAME = "index.sqlite"
 _BLOB_DIR = "blobs"
@@ -106,6 +118,9 @@ class StoredRow:
     schedule_strategy: str
     schedule_hash: str
     created_at: float
+    #: Wall-clock seconds the cell took to simulate (``None`` for rows
+    #: written before schema 2 or results assembled without timing).
+    wall_time: Optional[float] = None
 
     @property
     def all_properties_hold(self) -> bool:
@@ -204,8 +219,19 @@ class ResultStore:
             raise StoreError(
                 f"cannot use {self.root} as a result store: {exc}"
             ) from exc
-        self._db = sqlite3.connect(index_path)
+        # IMMEDIATE isolation makes every write transaction take the write
+        # lock up front, so two handles on one store queue (bounded by the
+        # busy timeout) instead of deadlocking on a deferred-to-write lock
+        # upgrade ("database is locked" with no retry).
+        self._db = sqlite3.connect(index_path, isolation_level="IMMEDIATE",
+                                   timeout=_BUSY_TIMEOUT_MS / 1000)
         self._db.row_factory = sqlite3.Row
+        # WAL lets readers proceed while a writer commits — the mode the
+        # distributed merge/worker paths rely on; busy_timeout covers the
+        # statements issued outside explicit transactions.
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        self._db.execute("PRAGMA synchronous=NORMAL")
         #: Lookups that found a stored cell (per open handle).
         self.hits = 0
         #: Lookups that found nothing.
@@ -229,14 +255,19 @@ class ResultStore:
             "SELECT 1 FROM sqlite_master WHERE type = 'table' AND "
             "name = 'meta'"
         ).fetchone() is not None
+        recorded_version: Optional[int] = None
         if has_meta:
             recorded = self._db.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
-            if recorded is not None and int(recorded["value"]) != SCHEMA_VERSION:
+            if recorded is not None:
+                recorded_version = int(recorded["value"])
+            if (recorded_version is not None
+                    and recorded_version != SCHEMA_VERSION
+                    and recorded_version not in _MIGRATABLE_VERSIONS):
                 raise SchemaMismatchError(
                     f"store at {self.root} has schema version "
-                    f"{recorded['value']}, this library writes version "
+                    f"{recorded_version}, this library writes version "
                     f"{SCHEMA_VERSION}"
                 )
         with self._db:
@@ -272,7 +303,8 @@ class ResultStore:
                     schedule_strategy TEXT NOT NULL,
                     schedule_hash TEXT NOT NULL,
                     schema_version INTEGER NOT NULL,
-                    created_at REAL NOT NULL
+                    created_at REAL NOT NULL,
+                    wall_time REAL
                 );
                 CREATE INDEX IF NOT EXISTS idx_results_algorithm
                     ON results (algorithm);
@@ -307,6 +339,22 @@ class ResultStore:
                 );
                 """
             )
+            if recorded_version in _MIGRATABLE_VERSIONS:
+                # v1 → v2: the results table predates the wall_time column
+                # (the executescript CREATE IF NOT EXISTS was a no-op).
+                # Old rows keep wall_time NULL — readers treat that as
+                # "timing unknown".
+                columns = {row["name"] for row in self._db.execute(
+                    "PRAGMA table_info(results)"
+                ).fetchall()}
+                if "wall_time" not in columns:
+                    self._db.execute(
+                        "ALTER TABLE results ADD COLUMN wall_time REAL"
+                    )
+                self._db.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
+                )
             self._db.execute(
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)),
@@ -382,9 +430,9 @@ class ResultStore:
                     all_hold, quiescent, anonymity_passed, stop_reason,
                     final_time, mean_latency, total_sends, deliveries,
                     schedule_strategy, schedule_hash, schema_version,
-                    created_at
+                    created_at, wall_time
                 ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 (
                     key,
@@ -414,6 +462,7 @@ class ResultStore:
                     provenance.schedule_hash if provenance is not None else "",
                     SCHEMA_VERSION,
                     payload["created_at"],
+                    result.wall_time,
                 ),
             )
         self.puts += 1
@@ -458,10 +507,11 @@ class ResultStore:
         :class:`~repro.simulation.engine.ScheduleProvenance`.
         """
         payload = self._read_blob(cell_key)
-        if payload.get("schema_version") != SCHEMA_VERSION:
+        if payload.get("schema_version") not in _SUPPORTED_BLOB_VERSIONS:
             raise SchemaMismatchError(
                 f"blob for cell {cell_key} has schema version "
-                f"{payload.get('schema_version')}, expected {SCHEMA_VERSION}"
+                f"{payload.get('schema_version')}, supported: "
+                f"{sorted(_SUPPORTED_BLOB_VERSIONS)}"
             )
         payload["scenario"] = scenario_from_dict(payload["scenario"])
         payload["result"]["schedule"] = provenance_from_dict(
@@ -497,6 +547,7 @@ class ResultStore:
             schedule_strategy=row["schedule_strategy"],
             schedule_hash=row["schedule_hash"],
             created_at=row["created_at"],
+            wall_time=row["wall_time"],
         )
 
     #: Filters accepted by :meth:`query` (name -> SQL column).
@@ -602,38 +653,46 @@ class ResultStore:
         existing = self._db.execute(
             "SELECT name FROM campaigns WHERE name = ?", (name,)
         ).fetchone()
-        if existing is not None:
-            if not resume:
-                raise StoreError(
-                    f"campaign {name!r} already exists in {self.root}; pass "
-                    "resume=True (CLI: --resume) to continue it"
-                )
-            recorded = self.campaign_cells(name)
-            if recorded != [tuple(cell) for cell in cells]:
-                raise StoreError(
-                    f"campaign {name!r} cannot resume: the suite expands to "
-                    "a different cell list than the recorded manifest"
-                )
-            with self._db:
-                self._db.execute(
-                    "UPDATE campaigns SET updated_at = ? WHERE name = ?",
-                    (time.time(), name),
-                )
-            return
-        now = time.time()
-        with self._db:
-            # `total` counts distinct cells (the completion denominator):
-            # suites scheduling the same scenario twice still reach 100%.
-            self._db.execute(
-                "INSERT INTO campaigns (name, suite_name, total, created_at, "
-                "updated_at) VALUES (?, ?, ?, ?, ?)",
-                (name, suite_name,
-                 len({key for _position, _group, key in cells}), now, now),
+        if existing is None:
+            now = time.time()
+            try:
+                with self._db:
+                    # `total` counts distinct cells (the completion
+                    # denominator): suites scheduling the same scenario
+                    # twice still reach 100%.
+                    self._db.execute(
+                        "INSERT INTO campaigns (name, suite_name, total, "
+                        "created_at, updated_at) VALUES (?, ?, ?, ?, ?)",
+                        (name, suite_name,
+                         len({key for _position, _group, key in cells}),
+                         now, now),
+                    )
+                    self._db.executemany(
+                        "INSERT INTO campaign_cells (campaign, position, "
+                        "group_label, cell_key) VALUES (?, ?, ?, ?)",
+                        [(name, position, group, key)
+                         for position, group, key in cells],
+                    )
+                return
+            except sqlite3.IntegrityError:
+                # Lost a registration race against another handle on the
+                # same store — treat the campaign as pre-existing below.
+                pass
+        if not resume:
+            raise StoreError(
+                f"campaign {name!r} already exists in {self.root}; pass "
+                "resume=True (CLI: --resume) to continue it"
             )
-            self._db.executemany(
-                "INSERT INTO campaign_cells (campaign, position, group_label, "
-                "cell_key) VALUES (?, ?, ?, ?)",
-                [(name, position, group, key) for position, group, key in cells],
+        recorded = self.campaign_cells(name)
+        if recorded != [tuple(cell) for cell in cells]:
+            raise StoreError(
+                f"campaign {name!r} cannot resume: the suite expands to "
+                "a different cell list than the recorded manifest"
+            )
+        with self._db:
+            self._db.execute(
+                "UPDATE campaigns SET updated_at = ? WHERE name = ?",
+                (time.time(), name),
             )
 
     def campaign_cells(self, name: str) -> list[tuple[int, str, str]]:
@@ -684,6 +743,82 @@ class ResultStore:
             self._db.execute("DELETE FROM campaigns WHERE name = ?", (name,))
             self._db.execute("DELETE FROM campaign_cells WHERE campaign = ?",
                              (name,))
+
+    # ------------------------------------------------------------------ #
+    # raw access (store-merge support)
+    # ------------------------------------------------------------------ #
+    def result_cell_keys(self) -> list[str]:
+        """Every stored cell key, in insertion order."""
+        return [row["cell_key"] for row in self._db.execute(
+            "SELECT cell_key FROM results ORDER BY rowid"
+        ).fetchall()]
+
+    def raw_result_row(self, cell_key: str) -> Optional[dict[str, Any]]:
+        """One result row as a plain column→value mapping (``None`` if
+        absent).  This is the copy unit of ``store merge`` — columns travel
+        verbatim, including ``created_at`` and ``wall_time``."""
+        row = self._db.execute(
+            "SELECT * FROM results WHERE cell_key = ?", (cell_key,)
+        ).fetchone()
+        return None if row is None else dict(row)
+
+    def blob_bytes(self, cell_key: str) -> bytes:
+        """The compressed on-disk blob of one cell, verbatim."""
+        path = self._blob_path(cell_key)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            raise StoreError(
+                f"blob for cell {cell_key} is missing from {self.root} "
+                "(run `repro-urb campaign gc` to repair the index)"
+            ) from None
+
+    def insert_raw_result(self, row: dict[str, Any], blob: bytes) -> None:
+        """Insert a result row copied verbatim from another store.
+
+        Writes the blob bytes first (atomic rename), then the index row —
+        the same durability order as :meth:`put`.  The row's own
+        ``schema_version`` is preserved; both stores were version-checked
+        at open time.
+        """
+        key = row["cell_key"]
+        path = self._blob_path(key)
+        path.parent.mkdir(exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        columns = list(row)
+        with self._db:
+            self._db.execute(
+                f"INSERT OR REPLACE INTO results ({', '.join(columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)})",
+                [row[column] for column in columns],
+            )
+        self.puts += 1
+
+    def raw_artifact_rows(self) -> list[dict[str, Any]]:
+        """Every counterexample artifact row as a plain mapping (payload
+        bytes included), oldest first — the merge copy unit."""
+        rows = self._db.execute(
+            "SELECT * FROM artifacts ORDER BY created_at, artifact_id"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def insert_raw_artifact(self, row: dict[str, Any]) -> bool:
+        """Adopt an artifact row copied from another store.
+
+        Artifact ids are content hashes (scenario + schedule), so an id
+        collision means the payloads agree — ``INSERT OR IGNORE`` keeps the
+        first copy.  Returns whether a new row was written.
+        """
+        columns = list(row)
+        with self._db:
+            cursor = self._db.execute(
+                f"INSERT OR IGNORE INTO artifacts ({', '.join(columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)})",
+                [row[column] for column in columns],
+            )
+        return cursor.rowcount > 0
 
     # ------------------------------------------------------------------ #
     # counterexample artifacts

@@ -31,6 +31,15 @@ Sub-commands
     content-addressed result store — cells already computed are never
     simulated again, a killed run resumes with ``--resume`` — then query,
     aggregate, export and garbage-collect the stored data.
+``campaign serve/work/plan``
+    Distributed campaigns (see :mod:`repro.campaigns.distributed`): ``serve``
+    writes the lease table for a sweep and coordinates until every cell is
+    executed, then merges the worker stores; ``work`` runs one lease-driven
+    worker process against a job workdir; ``plan`` estimates wall cost and
+    suggests a worker count from stored per-cell timings.
+``store merge --into DEST SRC [SRC ...]``
+    Idempotent union of result stores by cell hash; semantically conflicting
+    cells (a determinism bug) abort the merge loudly.
 
 The ``--algorithm`` choices everywhere come from the live algorithm registry,
 so protocols registered by plugin modules (imported via ``--plugin``) are
@@ -216,6 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--store", required=True, metavar="DIR",
                          help="result store directory")
 
+    def sweep_arguments(sub: argparse.ArgumentParser) -> None:
+        """The one-field sweep grid shared by run/serve/plan."""
+        sub.add_argument("--algorithm", choices=algorithm_names(),
+                         default="algorithm2")
+        sub.add_argument("--field", default="loss",
+                         help="Scenario field to vary (default: loss; 'loss' "
+                              "values are Bernoulli probabilities)")
+        sub.add_argument("--values", required=True,
+                         help="comma-separated grid, e.g. 0.0,0.2,0.4")
+        sub.add_argument("--n", type=int, default=5,
+                         help="number of processes")
+        sub.add_argument("--crashes", type=int, default=0,
+                         help="number of processes crashed at t=2")
+        sub.add_argument("--seeds", type=int, default=3,
+                         help="replications per grid point")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--max-time", type=float, default=150.0)
+
     crun = campaign_sub.add_parser(
         "run", help="run (or resume) a sweep campaign against the store",
         parents=[plugin_parent])
@@ -255,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
     store_argument(cstatus)
     cstatus.add_argument("name", nargs="?", default=None,
                          help="campaign to detail (default: list all)")
+    cstatus.add_argument("--workdir", default=None, metavar="DIR",
+                         help="also show the lease-table progress of the "
+                              "distributed job at DIR (completed/leased/"
+                              "pending cells, ETA from stored timings)")
+    cstatus.add_argument("--watch", action="store_true",
+                         help="refresh the status until the campaign (or "
+                              "distributed job) completes")
+    cstatus.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between --watch refreshes")
 
     cquery = campaign_sub.add_parser(
         "query", help="query stored results (or counterexamples)",
@@ -294,6 +330,77 @@ def build_parser() -> argparse.ArgumentParser:
                      help="delete this campaign's manifest first")
     cgc.add_argument("--drop-unreferenced", action="store_true",
                      help="also delete results referenced by no campaign")
+
+    cserve = campaign_sub.add_parser(
+        "serve",
+        help="coordinate a distributed campaign: write the lease table, "
+             "wait for workers, merge their stores",
+        parents=[plugin_parent])
+    store_argument(cserve)
+    cserve.add_argument("--workdir", required=True, metavar="DIR",
+                        help="job directory shared with the workers (holds "
+                             "leases.sqlite and the per-worker stores)")
+    cserve.add_argument("--name", default=None,
+                        help="campaign name (default: derived from the sweep)")
+    sweep_arguments(cserve)
+    cserve.add_argument("--lease-timeout", type=float, default=60.0,
+                        help="seconds a worker may go without heartbeating "
+                             "before its lease is reclaimed")
+    cserve.add_argument("--range-size", type=int, default=8,
+                        help="cells per initial lease range")
+    cserve.add_argument("--timeout", type=float, default=None,
+                        help="abort if the job is not complete after this "
+                             "many seconds (default: wait forever)")
+    cserve.add_argument("--poll-interval", type=float, default=0.5,
+                        help="seconds between coordinator status polls")
+    cserve.add_argument("--progress", action="store_true",
+                        help="print one status line per poll (default: an "
+                             "in-place counter)")
+
+    cwork = campaign_sub.add_parser(
+        "work",
+        help="run one lease-driven worker against a distributed job",
+        parents=[plugin_parent])
+    cwork.add_argument("--workdir", required=True, metavar="DIR",
+                       help="job directory written by 'campaign serve'")
+    cwork.add_argument("--store-root", default=None, metavar="DIR",
+                       help="this worker's private result store (default: "
+                            "WORKDIR/workers/<worker-id>/store)")
+    cwork.add_argument("--worker-id", default=None,
+                       help="stable worker identity (default: <host>-<pid>)")
+    cwork.add_argument("--poll-interval", type=float, default=0.2,
+                       help="seconds to sleep when nothing is claimable")
+    cwork.add_argument("--wait-for-job", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="wait up to SECONDS for the lease table to "
+                            "appear (lets workers start before 'serve')")
+
+    cplan = campaign_sub.add_parser(
+        "plan",
+        help="estimate a sweep's wall cost and suggest a worker count "
+             "from stored per-cell timings",
+        parents=[plugin_parent])
+    cplan.add_argument("--store", default=None, metavar="DIR",
+                       help="result store supplying per-cell timings "
+                            "(default: assume a flat per-cell cost)")
+    sweep_arguments(cplan)
+    cplan.add_argument("--target-seconds", type=float, default=60.0,
+                       help="target wall time the worker suggestion aims for")
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="result-store maintenance across stores",
+        parents=[plugin_parent])
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+    smerge = store_sub.add_parser(
+        "merge",
+        help="merge result stores into one (idempotent union by cell hash)",
+        parents=[plugin_parent])
+    smerge.add_argument("--into", required=True, metavar="DIR",
+                        help="destination store (created if missing)")
+    smerge.add_argument("sources", nargs="+", metavar="SRC",
+                        help="source store directories")
     return parser
 
 
@@ -681,28 +788,77 @@ def _campaign_run(store: "ResultStore", args: argparse.Namespace) -> int:
     return 0 if report.complete and all_hold else 1
 
 
-def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
+def _store_mean_wall_time(store: "ResultStore") -> Optional[float]:
+    """Mean stored per-cell wall seconds, or ``None`` without timing data."""
+    timings = [row.wall_time for row in store.query()
+               if row.wall_time is not None]
+    return sum(timings) / len(timings) if timings else None
+
+
+def _lease_status_line(workdir: str, store: "ResultStore") -> tuple[str, bool]:
+    """One distributed-job progress line (with ETA when timings exist),
+    plus whether the job is complete."""
+    from .campaigns import LeaseTable
+
+    with LeaseTable(workdir) as table:
+        status = table.status()
+    line = f"job at {workdir}: {status.describe()}"
+    mean = _store_mean_wall_time(store)
+    remaining = status.total_cells - status.completed_cells
+    if not status.complete and remaining > 0 and mean is not None:
+        eta = remaining * mean / max(status.active_workers, 1)
+        line += f", eta ~{eta:.0f}s"
+    return line, status.complete
+
+
+def _campaign_status_once(store: "ResultStore",
+                          args: argparse.Namespace) -> tuple[int, bool]:
+    """Print the status once; returns ``(exit_code, everything_complete)``."""
+    complete = True
     if args.name is None:
         print(_render_campaign_status(store))
-        return 0
-    info = store.campaign_info(args.name)
-    if info is None:
-        print(f"error: unknown campaign {args.name!r} in {store.root}",
-              file=sys.stderr)
-        return 2
-    print(f"campaign {info.name!r} (suite {info.suite_name!r}): "
-          f"{info.done}/{info.total} cells computed"
-          f"{' — complete' if info.complete else ''}")
-    groups: dict[str, list[int]] = {}
-    for _position, group, cell_key in store.campaign_cells(args.name):
-        groups.setdefault(group, [0, 0])
-        groups[group][1] += 1
-        if store.contains(cell_key, count=False):
-            groups[group][0] += 1
-    rows = [[group, f"{done}/{total}"]
-            for group, (done, total) in groups.items()]
-    print(render_table(["configuration", "done"], rows))
-    return 0
+        complete = all(info.complete for info in store.campaigns())
+    else:
+        info = store.campaign_info(args.name)
+        if info is None:
+            print(f"error: unknown campaign {args.name!r} in {store.root}",
+                  file=sys.stderr)
+            return 2, True
+        print(f"campaign {info.name!r} (suite {info.suite_name!r}): "
+              f"{info.done}/{info.total} cells computed"
+              f"{' — complete' if info.complete else ''}")
+        groups: dict[str, list[int]] = {}
+        for _position, group, cell_key in store.campaign_cells(args.name):
+            groups.setdefault(group, [0, 0])
+            groups[group][1] += 1
+            if store.contains(cell_key, count=False):
+                groups[group][0] += 1
+        rows = [[group, f"{done}/{total}"]
+                for group, (done, total) in groups.items()]
+        print(render_table(["configuration", "done"], rows))
+        complete = info.complete
+    if args.workdir is not None:
+        from .campaigns import LeaseError
+
+        try:
+            line, job_complete = _lease_status_line(args.workdir, store)
+        except LeaseError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2, True
+        print(line)
+        complete = complete and job_complete
+    return 0, complete
+
+
+def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
+    import time as time_module
+
+    while True:
+        code, complete = _campaign_status_once(store, args)
+        if not args.watch or code != 0 or complete:
+            return code
+        time_module.sleep(args.interval)
+        print()
 
 
 def _campaign_query(store: "ResultStore", args: argparse.Namespace) -> int:
@@ -794,13 +950,125 @@ def _campaign_gc(store: "ResultStore", args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_campaign(args: argparse.Namespace) -> int:
-    from .campaigns import ResultStore, StoreError
+def _campaign_serve(store: "ResultStore", args: argparse.Namespace) -> int:
+    from .campaigns import Coordinator, LeaseError, campaign_table
 
+    suite = _build_sweep_suite(args, f"campaign-{args.algorithm}")
+    if isinstance(suite, str):
+        print(f"error: {suite}", file=sys.stderr)
+        return 2
+    coordinator = Coordinator(
+        args.workdir, suite,
+        name=args.name,
+        lease_timeout=args.lease_timeout,
+        range_size=args.range_size,
+    )
+    if args.progress:
+        def on_status(status) -> None:
+            print(status.describe(), file=sys.stderr)
+    else:
+        def on_status(status) -> None:
+            print(f"\r{status.completed_cells}/{status.total_cells} cells "
+                  "completed", end="", file=sys.stderr)
+    try:
+        report = coordinator.serve(
+            store,
+            poll_interval=args.poll_interval,
+            timeout=args.timeout,
+            on_status=on_status,
+        )
+    except LeaseError as exc:
+        print(file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.progress:
+        print(file=sys.stderr)
+    print(report.describe())
+    print()
+    print(campaign_table(store, report.name).render())
+    rows = store.query(campaign=report.name)
+    all_hold = all(row.all_properties_hold for row in rows)
+    return 0 if report.status.complete and all_hold else 1
+
+
+def _campaign_work(args: argparse.Namespace) -> int:
+    from .campaigns import LeaseError, run_worker
+
+    def progress(worker_id: str, done: int) -> None:
+        print(f"\r{worker_id}: {done} cell(s) processed", end="",
+              file=sys.stderr)
+
+    try:
+        report = run_worker(
+            args.workdir,
+            store_root=args.store_root,
+            worker_id=args.worker_id,
+            poll_interval=args.poll_interval,
+            worker_plugins=tuple(args.plugin),
+            wait_for_job=args.wait_for_job,
+            progress=progress,
+        )
+    except (LeaseError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(file=sys.stderr)
+    print(report.describe())
+    for error in report.errors:
+        print(f"warning: {error}", file=sys.stderr)
+    return 0 if not report.errors else 1
+
+
+def _campaign_plan(args: argparse.Namespace) -> int:
+    from .campaigns import StoreError, plan_campaign
+
+    suite = _build_sweep_suite(args, f"campaign-{args.algorithm}")
+    if isinstance(suite, str):
+        print(f"error: {suite}", file=sys.stderr)
+        return 2
+    try:
+        plan = plan_campaign(suite, args.store,
+                             target_seconds=args.target_seconds)
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    print()
+    print(plan.table().render())
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from .campaigns import MergeConflictError, StoreError, merge_store_paths
+
+    if args.store_command != "merge":  # pragma: no cover - argparse enforces
+        print(f"error: unknown store command {args.store_command!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        stats = merge_store_paths(args.into, args.sources)
+    except MergeConflictError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(stats.describe())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from .campaigns import LeaseError, ResultStore, StoreError
+
+    # `work` and `plan` manage their own stores (a worker's store lives
+    # under the job workdir; a plan may have no store at all).
+    if args.campaign_command == "work":
+        return _campaign_work(args)
+    if args.campaign_command == "plan":
+        return _campaign_plan(args)
     try:
         # Read verbs must not silently initialise an empty store at a typo.
         store = ResultStore(args.store,
-                            create=args.campaign_command == "run")
+                            create=args.campaign_command in ("run", "serve"))
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -810,11 +1078,12 @@ def _command_campaign(args: argparse.Namespace) -> int:
         "query": _campaign_query,
         "export": _campaign_export,
         "gc": _campaign_gc,
+        "serve": _campaign_serve,
     }
     with store:
         try:
             return handlers[args.campaign_command](store, args)
-        except StoreError as exc:
+        except (StoreError, LeaseError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
@@ -852,6 +1121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_replay(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "store":
+        return _command_store(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

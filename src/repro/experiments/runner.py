@@ -15,6 +15,7 @@ This module is the main high-level entry point of the library::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -43,6 +44,12 @@ class ScenarioResult:
     verdict: UrbVerdict
     quiescence: QuiescenceReport
     anonymity: AnonymityAudit
+    #: Wall-clock seconds spent building and running this scenario (measured
+    #: by :func:`run_scenario`; ``None`` for results assembled by hand).
+    #: Deliberately *not* part of the deterministic result content — the
+    #: campaign store indexes it for cost estimation but keeps it out of the
+    #: content-addressed blob.
+    wall_time: float | None = None
 
     @property
     def all_properties_hold(self) -> bool:
@@ -196,6 +203,7 @@ def build_engine(scenario: Scenario, *, controller=None) -> SimulationEngine:
 # --------------------------------------------------------------------------- #
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Run one scenario and attach the standard analyses to the result."""
+    started = time.perf_counter()
     engine = build_engine(scenario)
     simulation = engine.run()
     verdict = check_urb_properties(simulation)
@@ -210,6 +218,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         verdict=verdict,
         quiescence=quiescence,
         anonymity=anonymity,
+        wall_time=time.perf_counter() - started,
     )
 
 

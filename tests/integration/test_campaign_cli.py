@@ -129,6 +129,94 @@ class TestCampaignStatusQueryExportGc:
         assert "dropped 4 unreferenced result(s)" in output
 
 
+class TestDistributedCli:
+    def test_serve_with_cli_worker_merges_and_reports(self, capsys, tmp_path):
+        import threading
+
+        workdir = tmp_path / "job"
+        store = tmp_path / "merged"
+        worker = threading.Thread(target=main, args=([
+            "campaign", "work", "--workdir", str(workdir),
+            "--worker-id", "cli-w0", "--poll-interval", "0.05",
+            "--wait-for-job", "30",
+        ],))
+        worker.start()
+        try:
+            code = main([
+                "campaign", "serve", "--store", str(store),
+                "--workdir", str(workdir), "--name", "cli-dist",
+                "--algorithm", "algorithm2", "--n", "4",
+                "--values", "0.0,0.2", "--seeds", "2", "--max-time", "60",
+                "--lease-timeout", "30", "--timeout", "120",
+                "--poll-interval", "0.1",
+            ])
+        finally:
+            worker.join(timeout=120)
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 cells completed" in output
+        assert "4 cell(s) copied" in output
+        assert "configuration" in output  # the aggregate table rendered
+        assert "worker cli-w0: 4 cell(s) executed" in output
+
+        # The merged store and the lease table agree in `status --workdir`.
+        assert main(["campaign", "status", "--store", str(store),
+                     "cli-dist", "--workdir", str(workdir)]) == 0
+        status = capsys.readouterr().out
+        assert "4/4 cells computed" in status
+        assert "0 leased, 0 pending" in status
+
+        # A plan against the merged store sees every cell as stored.
+        assert main(["campaign", "plan", "--store", str(store),
+                     "--algorithm", "algorithm2", "--n", "4",
+                     "--values", "0.0,0.2", "--seeds", "2",
+                     "--max-time", "60"]) == 0
+        plan = capsys.readouterr().out
+        assert "4 already stored" in plan
+        assert "no workers needed" in plan
+
+    def test_work_without_a_job_fails(self, capsys, tmp_path):
+        assert main(["campaign", "work", "--workdir",
+                     str(tmp_path / "absent")]) == 2
+        assert "no distributed job" in capsys.readouterr().err
+
+    def test_plan_without_store_uses_assumed_costs(self, capsys):
+        assert main(["campaign", "plan", "--algorithm", "algorithm2",
+                     "--n", "4", "--values", "0.0,0.2", "--seeds", "2",
+                     "--max-time", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "assumed" in output
+        assert "suggested workers" in output
+
+
+class TestStoreMergeCli:
+    def test_merge_unions_stores_and_is_idempotent(self, capsys, tmp_path):
+        a, b, dest = tmp_path / "a", tmp_path / "b", tmp_path / "dest"
+        assert main(["campaign", "run", "--store", str(a), "--name", "ca",
+                     "--n", "4", "--values", "0.0", "--seeds", "2",
+                     "--max-time", "60"]) == 0
+        assert main(["campaign", "run", "--store", str(b), "--name", "cb",
+                     "--n", "4", "--values", "0.2", "--seeds", "2",
+                     "--max-time", "60"]) == 0
+        capsys.readouterr()
+        assert main(["store", "merge", "--into", str(dest),
+                     str(a), str(b)]) == 0
+        assert "4 cell(s) copied" in capsys.readouterr().out
+        assert main(["store", "merge", "--into", str(dest),
+                     str(a), str(b)]) == 0
+        assert "0 cell(s) copied, 4 already present" in \
+            capsys.readouterr().out
+        # Both campaign manifests travelled with their cells.
+        assert main(["campaign", "status", "--store", str(dest)]) == 0
+        listing = capsys.readouterr().out
+        assert "ca" in listing and "cb" in listing
+
+    def test_merge_missing_source_fails(self, capsys, tmp_path):
+        assert main(["store", "merge", "--into", str(tmp_path / "dest"),
+                     str(tmp_path / "absent")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+
 class TestReplayCli:
     @pytest.fixture()
     def artifact(self, tmp_path):

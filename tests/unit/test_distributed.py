@@ -1,0 +1,538 @@
+"""Unit tests for the distributed campaign subsystem: lease protocol,
+store merge, worker/coordinator, and cost planning."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import zlib
+
+import pytest
+
+from repro.campaigns import (
+    Coordinator,
+    MergeConflictError,
+    ResultStore,
+    StoreError,
+    Worker,
+    campaign_table,
+    merge_store_paths,
+    merge_stores,
+    plan_campaign,
+    run_campaign,
+    scenario_cell_key,
+)
+from repro.campaigns.distributed import LeaseError, LeaseTable
+from repro.campaigns.hashing import canonical_scenario_dict
+from repro.experiments.batch import ScenarioSuite
+from repro.experiments.config import Scenario
+from repro.experiments.runner import run_scenario
+from repro.network.loss import LossSpec
+
+
+def quick_scenario(**overrides) -> Scenario:
+    base = dict(
+        name="dist-test",
+        algorithm="algorithm2",
+        n_processes=4,
+        max_time=60.0,
+        stop_when_quiescent=True,
+        drain_grace_period=3.0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def quick_suite(seeds: int = 3) -> ScenarioSuite:
+    suite = ScenarioSuite("dist-suite")
+    suite.add_sweep(quick_scenario(), "loss",
+                    [LossSpec.none(), LossSpec.bernoulli(0.2)])
+    return suite.with_seeds(seeds)
+
+
+def manifest_cells(n: int) -> list[tuple[int, str, str, dict]]:
+    """A synthetic n-cell manifest (lease tests never execute cells)."""
+    return [
+        (index, f"g{index % 2}", f"key{index:04d}",
+         canonical_scenario_dict(quick_scenario(seed=index)))
+        for index in range(n)
+    ]
+
+
+def make_job(tmp_path, n_cells: int = 8, *, lease_timeout: float = 10.0,
+             range_size: int = 4) -> LeaseTable:
+    table = LeaseTable(tmp_path / "job", create=True)
+    table.initialise(name="job", suite_name="suite",
+                     cells=manifest_cells(n_cells),
+                     lease_timeout=lease_timeout, range_size=range_size)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# lease protocol
+# --------------------------------------------------------------------------- #
+class TestLeaseTable:
+    def test_open_missing_job_fails(self, tmp_path):
+        with pytest.raises(LeaseError, match="no distributed job"):
+            LeaseTable(tmp_path / "absent")
+
+    def test_initialise_is_idempotent_on_identical_manifest(self, tmp_path):
+        with make_job(tmp_path) as table:
+            table.initialise(name="job", suite_name="suite",
+                             cells=manifest_cells(8))
+            assert table.status().total_cells == 8
+
+    def test_initialise_rejects_a_different_manifest(self, tmp_path):
+        with make_job(tmp_path) as table:
+            with pytest.raises(LeaseError, match="different manifest"):
+                table.initialise(name="job", suite_name="suite",
+                                 cells=manifest_cells(9))
+            with pytest.raises(LeaseError, match="different manifest"):
+                table.initialise(name="other", suite_name="suite",
+                                 cells=manifest_cells(8))
+
+    def test_claim_grants_disjoint_ranges_in_position_order(self, tmp_path):
+        with make_job(tmp_path) as table:
+            first = table.claim("w1", now=100.0)
+            second = table.claim("w2", now=100.0)
+            assert first is not None and second is not None
+            assert first.start == 0 and second.start == first.count
+            positions = [cell.position for cell in first.cells]
+            assert positions == list(range(first.start,
+                                           first.start + first.count))
+            assert [cell.cell_key for cell in first.cells] == [
+                f"key{p:04d}" for p in positions
+            ]
+
+    def test_claim_returns_none_when_everything_is_leased(self, tmp_path):
+        with make_job(tmp_path, n_cells=4, range_size=4) as table:
+            # Drain: shrinking grants may split the range, so claim until
+            # w1 holds every cell.
+            while table.claim("w1", now=100.0) is not None:
+                pass
+            assert table.claim("w2", now=100.0) is None
+
+    def test_heartbeat_exactly_at_timeout_keeps_the_lease(self, tmp_path):
+        # lease_timeout=10, claimed at t=100 → expires at t=110.  A claim at
+        # exactly t=110 must NOT reclaim (strict <); at t=110.001 it must.
+        with make_job(tmp_path, n_cells=1, range_size=1,
+                      lease_timeout=10.0) as table:
+            grant = table.claim("w1", now=100.0)
+            assert grant is not None and grant.lease_expires == 110.0
+            assert table.claim("w2", now=110.0) is None
+            stolen = table.claim("w2", now=110.001)
+            assert stolen is not None
+            assert stolen.start == grant.start
+            assert stolen.epoch == grant.epoch + 1
+
+    def test_double_reclaim_only_one_claimant_wins(self, tmp_path):
+        with make_job(tmp_path, n_cells=1, range_size=1,
+                      lease_timeout=10.0) as table:
+            table.claim("w1", now=100.0)
+            # Two workers race for the single expired range: the first
+            # claim reclaims and re-leases it, the second finds nothing.
+            first = table.claim("w2", now=200.0)
+            second = table.claim("w3", now=200.0)
+            assert first is not None and first.worker == "w2"
+            assert second is None
+            assert table.status(now=200.0).reclaims == 1
+
+    def test_zombie_worker_is_fenced_by_epoch(self, tmp_path):
+        with make_job(tmp_path, n_cells=1, range_size=1,
+                      lease_timeout=10.0) as table:
+            zombie = table.claim("w1", now=100.0)
+            stolen = table.claim("w2", now=150.0)
+            assert stolen is not None
+            # The zombie's lease was reclaimed: every guarded call it makes
+            # must fail and must not corrupt the new owner's progress.
+            assert not table.renew(zombie, now=150.0)
+            assert not table.record_cell_done(zombie, now=150.0)
+            assert not table.complete_range(zombie)
+            assert table.record_cell_done(stolen, now=151.0)
+            status = table.status(now=151.0)
+            assert status.completed_cells == 1
+            assert table.complete_range(stolen)
+            assert table.status(now=151.0).complete
+
+    def test_renew_extends_the_lease(self, tmp_path):
+        with make_job(tmp_path, n_cells=1, range_size=1,
+                      lease_timeout=10.0) as table:
+            grant = table.claim("w1", now=100.0)
+            assert table.renew(grant, now=109.0)  # expires 119 now
+            assert table.claim("w2", now=112.0) is None
+
+    def test_reclaimed_range_resets_progress(self, tmp_path):
+        with make_job(tmp_path, n_cells=1, range_size=1,
+                      lease_timeout=10.0) as table:
+            grant = table.claim("w1", now=100.0)
+            assert table.record_cell_done(grant, now=101.0)
+            assert table.status(now=101.0).completed_cells == 1
+            stolen = table.claim("w2", now=200.0)
+            assert stolen is not None
+            # The new owner restarts the range: the zombie's partial count
+            # must not double-count once the range completes.
+            assert table.status(now=200.0).completed_cells == 0
+
+    def test_shrinking_grants_near_the_tail(self, tmp_path):
+        with make_job(tmp_path, n_cells=8, range_size=8,
+                      lease_timeout=10.0) as table:
+            table.register_worker("w1", "s1")
+            table.register_worker("w2", "s2")
+            grant = table.claim("w1", now=0.0)
+            # 8 pending cells over 2 active workers: cap = ceil(8/4) = 2,
+            # so the 8-cell range is split rather than granted whole.
+            assert grant is not None and grant.count == 2
+            other = table.claim("w2", now=0.0)
+            assert other is not None and other.start == 2
+            status = table.status(now=0.0)
+            assert status.pending_cells == 8 - grant.count - other.count
+
+    def test_status_counts_cells_and_ranges(self, tmp_path):
+        with make_job(tmp_path, n_cells=8, range_size=4,
+                      lease_timeout=10.0) as table:
+            status = table.status(now=0.0)
+            assert status.total_cells == 8 and status.pending_cells == 8
+            assert not status.complete
+            grant = table.claim("w1", now=0.0)
+            assert table.record_cell_done(grant, now=1.0)
+            status = table.status(now=1.0)
+            assert status.completed_cells == 1
+            assert status.leased_cells == grant.count - 1
+
+    def test_worker_registration_records_store_paths(self, tmp_path):
+        with make_job(tmp_path) as table:
+            table.register_worker("w1", tmp_path / "s1")
+            table.register_worker("w2", tmp_path / "s2")
+            table.register_worker("w1", tmp_path / "s1b")  # re-register
+            assert table.worker_stores() == [tmp_path / "s1b",
+                                             tmp_path / "s2"]
+
+
+# --------------------------------------------------------------------------- #
+# store merge
+# --------------------------------------------------------------------------- #
+def store_with_results(root, seeds) -> list[str]:
+    keys = []
+    with ResultStore(root) as store:
+        for seed in seeds:
+            scenario = quick_scenario(seed=seed)
+            store.put(run_scenario(scenario))
+            keys.append(scenario_cell_key(scenario))
+    return keys
+
+
+class TestMergeStores:
+    def test_disjoint_union(self, tmp_path):
+        keys_a = store_with_results(tmp_path / "a", [0, 1])
+        keys_b = store_with_results(tmp_path / "b", [2])
+        with ResultStore(tmp_path / "a") as dest, \
+                ResultStore(tmp_path / "b") as source:
+            stats = merge_stores(dest, [source])
+            assert stats.copied == 1 and stats.skipped == 0
+            assert set(dest.result_cell_keys()) == set(keys_a + keys_b)
+            # Copied rows are loadable and keep their provenance columns.
+            row = dest.get(keys_b[0], count=False)
+            assert row is not None and row.wall_time is not None
+            verdict = dest.load(keys_b[0])["result"]["verdict"]
+            assert verdict["validity"] and not verdict["violations"]
+
+    def test_merge_is_idempotent(self, tmp_path):
+        store_with_results(tmp_path / "a", [0, 1])
+        store_with_results(tmp_path / "b", [1, 2])
+        for expected_copied in (1, 0):  # second merge copies nothing
+            with ResultStore(tmp_path / "a") as dest, \
+                    ResultStore(tmp_path / "b") as source:
+                stats = merge_stores(dest, [source])
+                assert stats.copied == expected_copied
+
+    def test_overlap_with_different_created_at_is_not_a_conflict(
+            self, tmp_path):
+        # The same cell executed twice stores blobs differing only in the
+        # volatile created_at stamp — semantically equal, merge skips it.
+        store_with_results(tmp_path / "a", [0])
+        store_with_results(tmp_path / "b", [0])
+        with ResultStore(tmp_path / "a") as dest, \
+                ResultStore(tmp_path / "b") as source:
+            stats = merge_stores(dest, [source])
+            assert stats.copied == 0 and stats.skipped == 1
+
+    def test_semantic_conflict_fails_loudly(self, tmp_path):
+        [key] = store_with_results(tmp_path / "a", [0])
+        store_with_results(tmp_path / "b", [0])
+        # Tamper with one store's blob: same cell key, different content —
+        # exactly what a determinism bug would produce.
+        blob_path = (tmp_path / "b" / "blobs" / key[:2] / f"{key}.json.z")
+        payload = json.loads(zlib.decompress(blob_path.read_bytes()))
+        payload["result"]["verdict"]["validity"] = False
+        blob_path.write_bytes(zlib.compress(json.dumps(payload).encode()))
+        with ResultStore(tmp_path / "a") as dest, \
+                ResultStore(tmp_path / "b") as source:
+            with pytest.raises(MergeConflictError, match=key[:12]):
+                merge_stores(dest, [source])
+
+    def test_self_merge_is_rejected(self, tmp_path):
+        store_with_results(tmp_path / "a", [0])
+        with ResultStore(tmp_path / "a") as handle:
+            with pytest.raises(StoreError, match="into itself"):
+                merge_stores(handle, [handle])
+
+    def test_campaign_manifests_and_artifacts_merge(self, tmp_path):
+        run_campaign(tmp_path / "a", quick_suite(seeds=1), name="camp-a")
+        run_campaign(tmp_path / "b", quick_suite(seeds=1), name="camp-b")
+        stats = merge_store_paths(tmp_path / "a", [tmp_path / "b"])
+        assert stats.campaigns_added == 1
+        with ResultStore(tmp_path / "a", create=False) as dest:
+            assert {info.name for info in dest.campaigns()} == {
+                "camp-a", "camp-b"}
+            # Both campaigns render complete from the merged store.
+            for name in ("camp-a", "camp-b"):
+                artifact = campaign_table(dest, name)
+                assert "2/2" in artifact.name
+
+    def test_merge_rejects_conflicting_campaign_manifest(self, tmp_path):
+        run_campaign(tmp_path / "a", quick_suite(seeds=1), name="camp")
+        run_campaign(tmp_path / "b", quick_suite(seeds=2), name="camp")
+        with pytest.raises(StoreError, match="different cell list"):
+            merge_store_paths(tmp_path / "a", [tmp_path / "b"])
+
+    def test_missing_source_store_fails(self, tmp_path):
+        with pytest.raises(StoreError, match="no result store"):
+            merge_store_paths(tmp_path / "dest", [tmp_path / "absent"])
+
+
+# --------------------------------------------------------------------------- #
+# worker + coordinator
+# --------------------------------------------------------------------------- #
+class TestWorkerAndCoordinator:
+    def run_distributed(self, tmp_path, *, n_workers=2, suite=None,
+                        name="dist"):
+        suite = suite or quick_suite(seeds=2)
+        coordinator = Coordinator(tmp_path / "job", suite, name=name,
+                                  lease_timeout=30.0, range_size=2)
+        coordinator.prepare()
+        reports = {}
+
+        def work(index: int) -> None:
+            reports[index] = Worker(
+                tmp_path / "job", worker_id=f"w{index}",
+                poll_interval=0.02,
+            ).run()
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(n_workers)]
+        for thread in threads:
+            thread.start()
+        report = coordinator.serve(tmp_path / "merged", poll_interval=0.05,
+                                   timeout=120.0)
+        for thread in threads:
+            thread.join()
+        return report, reports
+
+    def test_distributed_run_completes_and_merges(self, tmp_path):
+        report, worker_reports = self.run_distributed(tmp_path)
+        assert report.status.complete
+        assert report.merge.copied == 4
+        executed = sum(r.cells_executed for r in worker_reports.values())
+        assert executed == 4  # every cell executed exactly once
+        with ResultStore(tmp_path / "merged", create=False) as store:
+            info = store.campaign_info("dist")
+            assert info is not None and info.complete
+
+    def test_distributed_aggregates_match_single_shot(self, tmp_path):
+        report, _reports = self.run_distributed(tmp_path,
+                                                suite=quick_suite(seeds=3))
+        assert report.status.complete
+        run_campaign(tmp_path / "single", quick_suite(seeds=3), name="dist")
+        with ResultStore(tmp_path / "merged", create=False) as merged, \
+                ResultStore(tmp_path / "single", create=False) as single:
+            distributed = campaign_table(merged, "dist")
+            reference = campaign_table(single, "dist")
+            assert distributed.rows == reference.rows
+
+    def test_serve_is_idempotent_after_completion(self, tmp_path):
+        suite = quick_suite(seeds=2)
+        self.run_distributed(tmp_path, suite=suite)
+        # Coordinator death after completion: re-serving the same workdir
+        # re-merges (0 copies) and re-registers the identical manifest.
+        coordinator = Coordinator(tmp_path / "job", suite, name="dist")
+        report = coordinator.serve(tmp_path / "merged", poll_interval=0.05,
+                                   timeout=30.0)
+        assert report.status.complete and report.merge.copied == 0
+
+    def test_worker_without_job_times_out(self, tmp_path):
+        worker = Worker(tmp_path / "job", worker_id="w0",
+                        poll_interval=0.02, wait_for_job=0.1)
+        with pytest.raises(LeaseError, match="no distributed job"):
+            worker.run()
+
+    def test_wait_times_out_loudly(self, tmp_path):
+        coordinator = Coordinator(tmp_path / "job", quick_suite(seeds=1),
+                                  name="stuck")
+        coordinator.prepare()  # no workers ever start
+        with pytest.raises(LeaseError, match="did not complete"):
+            coordinator.wait(poll_interval=0.02, timeout=0.1)
+
+    def test_worker_skips_cells_already_in_its_store(self, tmp_path):
+        suite = quick_suite(seeds=2)
+        coordinator = Coordinator(tmp_path / "job", suite, name="dist",
+                                  range_size=2)
+        coordinator.prepare()
+        # Pre-populate the worker's store with the full suite.
+        run_campaign(tmp_path / "prefilled", suite, name="warm")
+        report = Worker(tmp_path / "job", worker_id="w0",
+                        store_root=tmp_path / "prefilled",
+                        poll_interval=0.02).run()
+        assert report.cells_executed == 0
+        assert report.cells_cached == 4
+
+
+# --------------------------------------------------------------------------- #
+# concurrent store access
+# --------------------------------------------------------------------------- #
+def _put_worker(root, seeds, barrier, errors) -> None:
+    """Subprocess body: open an own handle, write one cell per seed."""
+    try:
+        with ResultStore(root) as store:
+            barrier.wait(timeout=30)  # maximise write overlap
+            for seed in seeds:
+                store.put(run_scenario(quick_scenario(seed=seed)))
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        errors.put(f"{type(exc).__name__}: {exc}")
+
+
+class TestConcurrentStoreAccess:
+    def test_two_processes_writing_disjoint_cells_do_not_lock(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        root = tmp_path / "store"
+        ResultStore(root).close()  # schema init up front
+        barrier = context.Barrier(2)
+        errors = context.Queue()
+        processes = [
+            context.Process(target=_put_worker,
+                            args=(root, seeds, barrier, errors))
+            for seeds in ([0, 1, 2, 3], [4, 5, 6, 7])
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        # The old deferred-transaction handles raised "database is locked"
+        # here; IMMEDIATE transactions + busy_timeout must not.
+        assert not failures, failures
+        assert all(process.exitcode == 0 for process in processes)
+        with ResultStore(root, create=False) as store:
+            assert len(store) == 8
+
+    def test_two_handles_in_one_process_interleave_writes(self, tmp_path):
+        root = tmp_path / "store"
+        with ResultStore(root) as first, ResultStore(root) as second:
+            for seed, handle in enumerate([first, second] * 3):
+                handle.put(run_scenario(quick_scenario(seed=seed)))
+            assert len(first) == len(second) == 6
+
+
+# --------------------------------------------------------------------------- #
+# planning
+# --------------------------------------------------------------------------- #
+class TestPlanCampaign:
+    def test_plan_without_store_uses_assumed_basis(self):
+        plan = plan_campaign(quick_suite(seeds=2),
+                             default_cell_seconds=2.0,
+                             target_seconds=4.0)
+        assert plan.estimate_basis == "assumed"
+        assert plan.pending_cells == 4
+        assert plan.est_sequential_seconds == pytest.approx(8.0)
+        assert plan.suggested_workers == 2
+
+    def test_plan_uses_stored_suite_timings(self, tmp_path):
+        run_campaign(tmp_path / "store", quick_suite(seeds=1), name="warm")
+        plan = plan_campaign(quick_suite(seeds=2), tmp_path / "store")
+        assert plan.estimate_basis == "suite"
+        assert plan.stored_cells == 2 and plan.pending_cells == 2
+        assert plan.timed_cells == 2
+        assert plan.mean_cell_seconds > 0
+
+    def test_fully_stored_suite_needs_no_workers(self, tmp_path):
+        run_campaign(tmp_path / "store", quick_suite(seeds=1), name="warm")
+        plan = plan_campaign(quick_suite(seeds=1), tmp_path / "store")
+        assert plan.pending_cells == 0
+        assert plan.suggested_workers is None
+        assert "no workers needed" in plan.describe()
+
+    def test_store_basis_when_suite_cells_are_unknown(self, tmp_path):
+        run_campaign(tmp_path / "store", quick_suite(seeds=1), name="warm")
+        other = ScenarioSuite("other").add(
+            quick_scenario(seed=99)).with_seeds(1)
+        plan = plan_campaign(other, tmp_path / "store")
+        assert plan.estimate_basis == "store"
+        assert plan.timed_cells == 2
+
+    def test_plan_table_renders(self):
+        artifact = plan_campaign(quick_suite(seeds=1),
+                                 worker_counts=(1, 2)).table()
+        assert artifact.headers == ["workers", "est wall s", "speedup"]
+        assert len(artifact.rows) == 2
+
+
+# --------------------------------------------------------------------------- #
+# store schema v2 satellites (wall_time + migration)
+# --------------------------------------------------------------------------- #
+class TestWallTimeAndMigration:
+    def test_put_records_wall_time(self, tmp_path):
+        result = run_scenario(quick_scenario())
+        assert result.wall_time is not None and result.wall_time > 0
+        with ResultStore(tmp_path / "store") as store:
+            row = store.put(result)
+            assert row.wall_time == pytest.approx(result.wall_time)
+
+    def test_wall_time_stays_out_of_the_blob(self, tmp_path):
+        # Blob determinism is what makes merge conflict detection sound, so
+        # the volatile timing must live in the index only.
+        scenario = quick_scenario()
+        with ResultStore(tmp_path / "store") as store:
+            store.put(run_scenario(scenario))
+            payload = store.load(scenario_cell_key(scenario))
+            assert "wall_time" not in json.dumps(
+                {k: v for k, v in payload["result"].items() if k != "schedule"}
+            )
+
+    def _downgrade_to_v1(self, root) -> None:
+        with sqlite3.connect(root / "index.sqlite") as db:
+            db.execute("ALTER TABLE results DROP COLUMN wall_time")
+            db.execute("UPDATE meta SET value = '1' "
+                       "WHERE key = 'schema_version'")
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        root = tmp_path / "store"
+        scenario = quick_scenario()
+        with ResultStore(root) as store:
+            store.put(run_scenario(scenario))
+        self._downgrade_to_v1(root)
+        with ResultStore(root) as store:
+            # Old rows read tolerantly: timing unknown, everything else
+            # intact; new writes carry timings again.
+            row = store.get(scenario_cell_key(scenario), count=False)
+            assert row is not None and row.wall_time is None
+            other = quick_scenario(seed=5)
+            assert store.put(run_scenario(other)).wall_time is not None
+        with sqlite3.connect(root / "index.sqlite") as db:
+            recorded = db.execute("SELECT value FROM meta WHERE key = "
+                                  "'schema_version'").fetchone()[0]
+        assert recorded == "2"
+
+    def test_future_schema_still_rejected(self, tmp_path):
+        from repro.campaigns import SchemaMismatchError
+
+        root = tmp_path / "store"
+        ResultStore(root).close()
+        with sqlite3.connect(root / "index.sqlite") as db:
+            db.execute("UPDATE meta SET value = '99' "
+                       "WHERE key = 'schema_version'")
+        with pytest.raises(SchemaMismatchError):
+            ResultStore(root)
