@@ -224,6 +224,33 @@ def _bench_quiescence_large_n(quick: bool):
 
 
 @register_bench(
+    "quiescence_vectorized",
+    "The quiescence_large_n load under the vectorized engine backend",
+)
+def _bench_quiescence_vectorized(quick: bool):
+    n = 16 if quick else 40
+    scenario = Scenario(
+        name="bench-quiescence-vectorized",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=1234,
+        loss=LossSpec.bernoulli(0.05),
+        delay=DelaySpec.uniform(0.05, 0.5),
+        workload="burst",
+        metadata={"burst_size": n},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=False,
+        engine="vectorized",
+    )
+    # Identical load and seed to quiescence_large_n: the pair quantifies the
+    # backend speedup on the same machine, and parity (same dispatched-event
+    # count) is CI-gated separately by scripts/engine_parity.py.
+    return _run_engine_scenario(scenario, metrics_level=MetricsLevel.COUNTERS)
+
+
+@register_bench(
     "flood_horizon",
     "Algorithm 1 all-to-all flood to the horizon (never quiescent)",
 )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI gate: the vectorized engine must be bit-identical to the reference.
+
+Runs the parity battery (:func:`repro.experiments.parity.parity_cases`)
+under every compared backend and fails when any scenario's fingerprint —
+trace digest, metrics summary, delivery logs, event stats, channel stats,
+final time, stop reason — differs from the reference engine's.
+
+Usage (from the repository root)::
+
+    python scripts/engine_parity.py
+    python scripts/engine_parity.py --engines reference,vectorized \
+        --artifacts parity-artifacts
+
+On mismatch, one ``parity_<scenario>.json`` digest-diff per failing
+scenario is written into ``--artifacts`` (CI uploads the directory) and
+the script exits non-zero.  The script also fails if no compared backend
+ever took its batched dispatch path — that would make the whole gate
+vacuous (everything silently falling back to per-event dispatch *is*
+bit-identical, but proves nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.parity import (  # noqa: E402
+    DEFAULT_ENGINES,
+    check_parity,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engines", default=",".join(DEFAULT_ENGINES),
+                        help="comma-separated engine names; the first is the "
+                             "reference fingerprint (default: %(default)s)")
+    parser.add_argument("--artifacts", type=Path,
+                        default=Path("parity-artifacts"),
+                        help="directory for digest-diff JSON on mismatch")
+    args = parser.parse_args(argv)
+
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if len(engines) < 2:
+        parser.error("need at least two engines to compare")
+
+    reports = check_parity(engines=engines)
+    failed = [report for report in reports if not report.ok]
+    batched_runs = 0
+    for report in reports:
+        modes = {run.engine: run.dispatch_mode for run in report.runs}
+        batched_runs += sum(1 for mode in modes.values() if mode == "batched")
+        verdict = "ok" if report.ok else "MISMATCH " + ",".join(report.mismatched)
+        print(f"{report.name:24s} {verdict}  modes={modes}")
+
+    if failed:
+        args.artifacts.mkdir(parents=True, exist_ok=True)
+        for report in failed:
+            path = args.artifacts / f"parity_{report.name}.json"
+            path.write_text(json.dumps(report.diff(), indent=2,
+                                       sort_keys=True) + "\n")
+            print(f"digest-diff written: {path}")
+        print(f"FAIL: {len(failed)}/{len(reports)} scenario(s) mismatched")
+        return 1
+
+    if batched_runs == 0:
+        print("FAIL: no compared backend ever took its batched dispatch path "
+              "— the parity gate would be vacuous")
+        return 1
+
+    print(f"parity OK: {len(reports)} scenarios, "
+          f"{batched_runs} batched backend runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,13 +63,11 @@ from .experiments.runner import run_scenario
 from .network.loss import LossSpec
 from .registry import (
     algorithm_names,
-    algorithms,
-    channels,
-    detector_setups,
+    all_registries,
+    engine_names,
     get_algorithm,
     strategies,
     strategy_names,
-    workloads,
 )
 
 
@@ -105,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
                           parents=[plugin_parent])
     subparsers.add_parser(
         "components",
-        help="list registered algorithms, channels, detector setups, workloads",
+        help="list every registered component, one table per registry",
         parents=[plugin_parent],
     )
 
@@ -130,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="number of processes crashed at t=2")
     demo_parser.add_argument("--seed", type=int, default=0)
     demo_parser.add_argument("--max-time", type=float, default=150.0)
+    demo_parser.add_argument("--engine", choices=engine_names(),
+                             default="reference",
+                             help="simulation-engine backend (all backends "
+                                  "are bit-identical; pick for speed)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep one scenario field through the batch runner",
@@ -151,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes (1 = sequential)")
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--max-time", type=float, default=150.0)
+    sweep_parser.add_argument("--engine", choices=engine_names(),
+                              default="reference",
+                              help="simulation-engine backend (all backends "
+                                   "are bit-identical; pick for speed)")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print one 'completed/total cells' line "
                                    "per finished run (default: a single "
@@ -242,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replications per grid point")
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--max-time", type=float, default=150.0)
+        sub.add_argument("--engine", choices=engine_names(),
+                         default="reference",
+                         help="simulation-engine backend (all backends are "
+                              "bit-identical; pick for speed)")
 
     crun = campaign_sub.add_parser(
         "run", help="run (or resume) a sweep campaign against the store",
@@ -265,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes (1 = sequential)")
     crun.add_argument("--seed", type=int, default=0)
     crun.add_argument("--max-time", type=float, default=150.0)
+    crun.add_argument("--engine", choices=engine_names(),
+                      default="reference",
+                      help="simulation-engine backend (all backends are "
+                           "bit-identical; pick for speed)")
     crun.add_argument("--resume", action="store_true",
                       help="continue a previously started campaign of the "
                            "same name (completed cells are never re-run)")
@@ -413,47 +427,31 @@ def _command_list() -> int:
     return 0
 
 
+def _component_cell(value: Any) -> Any:
+    return ("yes" if value else "no") if isinstance(value, bool) else value
+
+
 def _command_components() -> int:
-    algorithm_rows = [
-        [spec.name,
-         "yes" if spec.requires_majority else "no",
-         "yes" if spec.supports_quiescence else "no",
-         "yes" if spec.uses_failure_detectors else "no",
-         "yes" if spec.anonymous else "no",
-         spec.description]
-        for spec in algorithms.specs()
-    ]
-    print(render_table(
-        ["name", "needs majority", "quiescent", "uses FDs", "anonymous",
-         "description"],
-        algorithm_rows, title="Algorithms",
-    ))
-    print()
-    print(render_table(
-        ["name", "lossy", "description"],
-        [[s.name, "yes" if s.lossy else "no", s.description]
-         for s in channels.specs()],
-        title="Channel families",
-    ))
-    print()
-    print(render_table(
-        ["name", "description"],
-        [[s.name, s.description] for s in detector_setups.specs()],
-        title="Failure-detector setups",
-    ))
-    print()
-    print(render_table(
-        ["name", "description"],
-        [[s.name, s.description] for s in workloads.specs()],
-        title="Workload presets",
-    ))
-    print()
-    print(render_table(
-        ["name", "enumerative", "description"],
-        [[s.name, "yes" if s.enumerative else "no", s.description]
-         for s in strategies.specs()],
-        title="Exploration strategies",
-    ))
+    """One table per registry, driven entirely by the registry enumeration.
+
+    ``all_registries()`` supplies the registries and their display order;
+    each spec class's ``TABLE_COLUMNS`` supplies the columns — adding a
+    registry (or a spec column) needs no CLI edit.
+    """
+    tables = []
+    for title, registry in all_registries().items():
+        specs = registry.specs()
+        if specs:
+            columns = type(specs[0]).TABLE_COLUMNS
+        else:  # pragma: no cover - every registry ships built-ins
+            columns = (("name", "name"), ("description", "description"))
+        rows = [
+            [_component_cell(getattr(spec, field)) for _, field in columns]
+            for spec in specs
+        ]
+        tables.append(render_table([header for header, _ in columns],
+                                   rows, title=title))
+    print("\n\n".join(tables))
     return 0
 
 
@@ -490,6 +488,9 @@ def _base_scenario(args: argparse.Namespace, name: str,
         stop_when_quiescent=spec.supports_quiescence,
         stop_when_all_correct_delivered=not spec.supports_quiescence,
         drain_grace_period=3.0,
+        # explore has no --engine flag: a controller forces per-event
+        # dispatch anyway, so offering a backend there would be a no-op.
+        engine=getattr(args, "engine", "reference"),
     )
 
 

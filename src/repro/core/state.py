@@ -115,7 +115,9 @@ class Algorithm1State:
 
     def is_delivered(self, message: TaggedMessage) -> bool:
         """Whether ``(m, tag)`` is in ``URB_DELIVERED``."""
-        return message in self.delivered
+        # Checked once per received ACK/MSG; reading the backing dict
+        # directly skips a Python-level __contains__ frame.
+        return message in self.delivered._items
 
     # -- MY_ACK ----------------------------------------------------------- #
     def my_ack_for(self, message: TaggedMessage) -> Optional[Tag]:
@@ -199,8 +201,12 @@ class Algorithm2State(Algorithm1State):
         Returns ``True`` if this ``tag_ack`` was new for *message*.
         """
         labels = frozenset(labels)
-        records = self.ack_records.setdefault(message, {})
-        counters = self.label_counter.setdefault(message, {})
+        records = self.ack_records.get(message)
+        if records is None:
+            records = self.ack_records[message] = {}
+            counters = self.label_counter[message] = {}
+        else:
+            counters = self.label_counter[message]
         record = records.get(ack_tag)
         if record is None:
             # Lines 27-32: first ACK from this (anonymous) acknowledger.
@@ -213,6 +219,12 @@ class Algorithm2State(Algorithm1State):
         # Lines 33-45: repeated ACK from the same acknowledger, possibly with
         # an updated label set read from a converging AΘ.
         old_labels = record.labels
+        if old_labels is labels or old_labels == labels:
+            # By far the dominant repeat case (a stable detector view keeps
+            # handing out the identical label set); skip the reconciliation
+            # set algebra entirely.
+            record.labels = labels
+            return False
         added = labels - old_labels
         removed = old_labels - labels
         for label in added:

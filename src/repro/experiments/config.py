@@ -20,7 +20,14 @@ from ..network.delay import DelaySpec
 from ..network.fair_lossy import DEFAULT_FAIRNESS_BOUND
 from ..network.loss import LossSpec
 from ..failure_detectors.policies import DisseminationPolicy
-from ..registry import algorithms, channels, detector_setups, strategies, workloads
+from ..registry import (
+    algorithms,
+    channels,
+    detector_setups,
+    engines,
+    strategies,
+    workloads,
+)
 from ..simulation.hooks import EngineHook
 from ..workloads.base import Workload
 
@@ -129,6 +136,10 @@ class Scenario:
     explore_strategy: Optional[str] = None
     explore_index: int = 0
 
+    #: Simulation-engine backend (``repro.registry.engines``).  Backends are
+    #: bit-identical by contract, so this is a speed knob, not a semantic one.
+    engine: str = "reference"
+
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -144,6 +155,7 @@ class Scenario:
             strategies.validate(self.explore_strategy)
         if self.explore_index < 0:
             raise ValueError("explore_index must be non-negative")
+        engines.validate(self.engine)
         if self.n_processes < 1:
             raise ValueError("n_processes must be positive")
         if self.tick_interval <= 0:

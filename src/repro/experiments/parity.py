@@ -1,0 +1,238 @@
+"""Engine-backend parity: fingerprints and the scenario battery.
+
+The ``engines`` registry promises that every backend is *bit-identical* to
+``reference`` — a backend is a dispatch strategy, never a semantics change.
+This module is the executable form of that contract:
+
+* :func:`fingerprint` reduces a finished run to every observable the
+  promise covers: the trace digest, the full metrics summary, the ordered
+  per-process delivery logs, per-kind event statistics, per-channel
+  transmission statistics, final time and stop reason.
+* :func:`parity_cases` is the scenario battery, chosen so that every
+  dispatch path of the vectorized backend is exercised: the homogeneous
+  Bernoulli/uniform rows of its vector sampler, the generic per-channel
+  fallback (exponential and block-sampled models), the fairness guard
+  (heavy loss), degenerate all-drop rows, reliable and quasi-reliable
+  channel families, crashes on both paths, and both merge loops (sliced
+  for bounded delays, per-entry for unbounded ones).
+* :func:`compare_engines` runs one scenario under several backends and
+  reports exactly which fingerprint components disagree.
+
+Used by ``tests/unit/test_engine_backends.py`` and by the CI gate
+``scripts/engine_parity.py`` (which uploads the mismatch reports as a
+digest-diff artifact when the gate fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..network.delay import DelaySpec
+from ..network.loss import LossSpec
+from ..simulation.engine import SimulationResult
+from ..simulation.metrics import MetricsCollector, MetricsLevel
+from ..simulation.tracing import TraceLevel, TraceRecorder
+from .config import Scenario
+from .runner import build_engine
+
+#: Engines every parity run compares.  The reference engine is always
+#: first: it defines the expected fingerprint.
+DEFAULT_ENGINES: tuple[str, ...] = ("reference", "vectorized")
+
+
+def fingerprint(result: SimulationResult) -> dict[str, Any]:
+    """Every observable of *result* that backends must reproduce exactly.
+
+    The values are plain JSON-friendly structures so mismatch reports can
+    be serialised as CI artifacts.
+    """
+    deliveries = {
+        str(index): [
+            (repr(record.message.tag), repr(record.message.content))
+            for record in log
+        ]
+        for index, log in sorted(result.delivery_logs.items())
+    }
+    return {
+        "trace_digest": result.trace.digest(),
+        "metrics": result.metrics.summary().as_dict(),
+        "deliveries": deliveries,
+        "event_stats": {str(k): v for k, v in result.event_stats.as_dict().items()},
+        "final_time": result.final_time,
+        "stop_reason": result.stop_reason,
+    }
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """One engine's run of a parity scenario."""
+
+    engine: str
+    #: Which dispatch path the backend took (``None`` for backends that do
+    #: not report one, e.g. ``reference``).
+    dispatch_mode: Optional[str]
+    fingerprint: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Outcome of comparing one scenario across engine backends."""
+
+    name: str
+    runs: tuple[EngineRun, ...]
+    #: Fingerprint keys on which some backend disagrees with the first
+    #: (reference) run.  Empty means bit-identical.
+    mismatched: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every backend reproduced the reference fingerprint."""
+        return not self.mismatched
+
+    def diff(self) -> dict[str, Any]:
+        """JSON-friendly digest-diff of the mismatching components."""
+        return {
+            "scenario": self.name,
+            "mismatched": list(self.mismatched),
+            "runs": [
+                {
+                    "engine": run.engine,
+                    "dispatch_mode": run.dispatch_mode,
+                    **{key: run.fingerprint[key] for key in self.mismatched},
+                }
+                for run in self.runs
+            ],
+        }
+
+
+def run_fingerprint(
+    scenario: Scenario,
+    engine: str,
+    *,
+    trace_level: TraceLevel = TraceLevel.DELIVERIES,
+    metrics_level: MetricsLevel = MetricsLevel.FULL,
+) -> EngineRun:
+    """Run *scenario* under *engine* and fingerprint the result.
+
+    The trace level defaults to ``DELIVERIES`` (protocol observables only):
+    a FULL trace forces batching backends onto their per-event path, which
+    would make the comparison vacuous — per-copy parity is covered by the
+    dedicated FULL-trace cases instead, which *expect* the fallback.
+    Metrics stay FULL either way; batching backends must reproduce the
+    entire summary including latency percentiles.
+    """
+    built = build_engine(scenario.with_(engine=engine))
+    built.trace = TraceRecorder(enabled=scenario.trace_enabled,
+                                level=trace_level)
+    built.metrics = MetricsCollector(level=metrics_level)
+    result = built.run()
+    fp = fingerprint(result)
+    # Channel statistics live on the network (not the result); batching
+    # backends defer their per-channel counter updates and must land on
+    # exactly the per-transmit totals.
+    fp["channel_stats"] = {
+        f"{src}->{dst}": {
+            "attempts": channel.stats.attempts,
+            "delivered": channel.stats.delivered,
+            "dropped": channel.stats.dropped,
+            "forced_deliveries": channel.stats.forced_deliveries,
+        }
+        for (src, dst), channel in sorted(built.network.channels.items())
+    }
+    return EngineRun(
+        engine=engine,
+        dispatch_mode=getattr(built, "dispatch_mode", None),
+        fingerprint=fp,
+    )
+
+
+def compare_engines(
+    scenario: Scenario,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    *,
+    trace_level: TraceLevel = TraceLevel.DELIVERIES,
+    metrics_level: MetricsLevel = MetricsLevel.FULL,
+) -> ParityReport:
+    """Run *scenario* under every backend in *engines* and compare."""
+    runs = tuple(
+        run_fingerprint(scenario, engine,
+                        trace_level=trace_level, metrics_level=metrics_level)
+        for engine in engines
+    )
+    expected = runs[0].fingerprint
+    mismatched = tuple(
+        key for key in expected
+        if any(run.fingerprint[key] != expected[key] for run in runs[1:])
+    )
+    return ParityReport(name=scenario.name, runs=runs, mismatched=mismatched)
+
+
+# --------------------------------------------------------------------------- #
+# the scenario battery
+# --------------------------------------------------------------------------- #
+def parity_cases() -> tuple[Scenario, ...]:
+    """Scenarios covering every dispatch path of the vectorized backend.
+
+    Kept deliberately small (seconds each): CI runs the battery under every
+    backend on every supported Python / NumPy combination.
+    """
+    base = Scenario(
+        name="base",
+        algorithm="algorithm2",
+        n_processes=6,
+        seed=20150525,
+        loss=LossSpec.bernoulli(0.25),
+        delay=DelaySpec.uniform(0.05, 0.5),
+        workload="burst",
+        metadata={"burst_size": 4},
+        max_time=80.0,
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+    )
+    return (
+        # Vector sampler + sliced merge (the headline fast path).
+        base.with_(name="bernoulli-uniform"),
+        # p == 0 rows: no loss uniforms may be drawn.
+        base.with_(name="noloss-uniform", loss=LossSpec.none()),
+        # Equal delays: the chunk-internal no-sort fast path.
+        base.with_(name="bernoulli-fixed", delay=DelaySpec.fixed(0.3)),
+        # Unbounded-below delays: generic sampler + per-entry merge.
+        base.with_(name="bernoulli-exponential",
+                   delay=DelaySpec.exponential(mean=0.3, cap=2.0)),
+        # Block-sampled models: generic sampler + sliced merge.
+        base.with_(name="batched-models",
+                   loss=LossSpec.bernoulli(0.2, batch=64),
+                   delay=DelaySpec.uniform(0.05, 0.5, batch=64)),
+        # Heavy loss: the fairness guard forces deliveries.
+        base.with_(name="heavy-loss-guard",
+                   loss=LossSpec.bernoulli(0.7), fairness_bound=2,
+                   max_time=60.0),
+        # Degenerate all-drop rows (guard-only traffic, vector mode must
+        # refuse them).
+        base.with_(name="all-drop", loss=LossSpec.bernoulli(1.0),
+                   fairness_bound=3, max_time=40.0,
+                   metadata={"burst_size": 2}),
+        # Crashes interleaved with the fast path.
+        base.with_(name="crashes-mid-run", crashes={4: 3.0, 5: 9.0}),
+        # Algorithm 1 (no failure detectors, no labels).
+        base.with_(name="algorithm1", algorithm="algorithm1",
+                   stop_when_quiescent=False,
+                   stop_when_all_correct_delivered=True),
+        # Reliable / quasi-reliable channel families (generic sampler,
+        # sliced merge via their delay models).
+        base.with_(name="reliable", channel_type="reliable",
+                   loss=LossSpec.none()),
+        base.with_(name="quasi-reliable", channel_type="quasi_reliable",
+                   loss=LossSpec.none(), crashes={1: 5.0}),
+    )
+
+
+def check_parity(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+) -> list[ParityReport]:
+    """Run the whole battery; returns one report per scenario."""
+    if scenarios is None:
+        scenarios = parity_cases()
+    return [compare_engines(scenario, engines) for scenario in scenarios]

@@ -24,7 +24,14 @@ from ..analysis.properties import UrbVerdict, check_urb_properties
 from ..analysis.quiescence import QuiescenceReport, analyze_quiescence
 from ..core.interfaces import BroadcastProtocol
 from ..network.network import Network
-from ..registry import algorithms, channels, detector_setups, strategies, workloads
+from ..registry import (
+    algorithms,
+    channels,
+    detector_setups,
+    engines,
+    strategies,
+    workloads,
+)
 from ..simulation.config import SimulationConfig, StopConditions
 from ..simulation.engine import SimulationEngine, SimulationResult
 from ..simulation.environment import ProcessEnvironment
@@ -162,9 +169,15 @@ def build_engine(scenario: Scenario, *, controller=None) -> SimulationEngine:
     *controller* overrides the scenario's own ``explore_strategy`` wiring —
     the replay path hands a pre-built
     :class:`~repro.explore.controller.ReplayController` in directly.
+
+    The engine class itself comes from the ``engines`` registry
+    (``scenario.engine``); batching backends detect an attached controller
+    themselves and fall back to per-event dispatch, so explore/replay runs
+    stay exact whatever backend the scenario names.
     """
     if controller is None:
         controller = build_controller(scenario)
+    engine_factory = engines.get(scenario.engine).factory
     random_source = RandomSource(scenario.seed)
     crash_schedule = build_crash_schedule(scenario)
     network = build_network(scenario, random_source, crash_schedule)
@@ -183,7 +196,7 @@ def build_engine(scenario: Scenario, *, controller=None) -> SimulationEngine:
         ),
         metadata=dict(scenario.metadata),
     )
-    return SimulationEngine(
+    return engine_factory(
         config=config,
         network=network,
         process_factory=build_process_factory(scenario),

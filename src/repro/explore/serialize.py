@@ -79,6 +79,13 @@ def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
         "explore_strategy": scenario.explore_strategy,
         "explore_index": scenario.explore_index,
         "metadata": dict(scenario.metadata),
+        # Backends are bit-identical by contract, so the default engine is
+        # omitted: campaign cell hashes (repro.campaigns.hashing) of every
+        # pre-existing scenario stay stable, while an explicit non-default
+        # choice still round-trips (and hashes as its own cell, which is
+        # the conservative thing to do for a dispatch-strategy knob).
+        **({"engine": scenario.engine}
+           if scenario.engine != "reference" else {}),
     }
 
 
@@ -91,6 +98,7 @@ def scenario_from_dict(data: dict[str, Any]) -> Scenario:
     fields = dict(data)
     fields.setdefault("explore_strategy", None)
     fields.setdefault("explore_index", 0)
+    fields.setdefault("engine", "reference")
     fields["crashes"] = {
         int(index): float(time)
         for index, time in dict(fields.get("crashes", {})).items()

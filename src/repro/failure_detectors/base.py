@@ -42,7 +42,7 @@ class FailureDetectorView:
     variable ``a_theta_i`` / ``a_p*_i``): a set of :class:`FDPair`.
     """
 
-    __slots__ = ("_pairs", "_by_label")
+    __slots__ = ("_pairs", "_by_label", "_labels")
 
     def __init__(self, pairs: Iterable[FDPair] = ()) -> None:
         pairs = tuple(pairs)
@@ -55,6 +55,7 @@ class FailureDetectorView:
             by_label[pair.label] = pair.number
         self._pairs = pairs
         self._by_label = by_label
+        self._labels: Optional[frozenset[Label]] = None
 
     # -- set-like access ------------------------------------------------ #
     def __iter__(self) -> Iterator[FDPair]:
@@ -90,8 +91,17 @@ class FailureDetectorView:
         return self._pairs
 
     def labels(self) -> frozenset[Label]:
-        """The set of labels in the view (what Algorithm 2 attaches to ACKs)."""
-        return frozenset(self._by_label)
+        """The set of labels in the view (what Algorithm 2 attaches to ACKs).
+
+        Cached: views are immutable and oracles return the same view object
+        for every query inside its validity window, so protocol code that
+        attaches the label set to each outgoing ACK gets one shared (and
+        hash-cached) frozenset instead of a fresh allocation per send.
+        """
+        labels = self._labels
+        if labels is None:
+            labels = self._labels = frozenset(self._by_label)
+        return labels
 
     def number_for(self, label: Label) -> Optional[int]:
         """The ``number`` associated with *label*, or ``None`` if absent."""

@@ -1,6 +1,6 @@
 """Pluggable component registries.
 
-This package is the library's extension surface.  Five registries map names
+This package is the library's extension surface.  The registries map names
 to component specs; everything that used to be a hardcoded tuple or an
 ``if``/``elif`` dispatch chain now resolves through them:
 
@@ -9,7 +9,13 @@ to component specs; everything that used to be a hardcoded tuple or an
 * :data:`detector_setups` — failure-detector wiring (``Scenario.detector_setup``),
 * :data:`workloads` — workload presets (``Scenario.workload`` by name),
 * :data:`strategies` — schedule-exploration strategies
-  (``Scenario.explore_strategy``; see :mod:`repro.explore`).
+  (``Scenario.explore_strategy``; see :mod:`repro.explore`),
+* :data:`engines` — simulation-engine backends (``Scenario.engine``; see
+  :mod:`repro.simulation.backends`).
+
+:func:`all_registries` enumerates them in a stable order, so the CLI's
+``components`` listing and anything else that wants "every registry" stays
+correct when a new one is added — no per-site edits.
 
 Registering a component makes it a first-class citizen of
 :class:`~repro.experiments.config.Scenario` validation, the scenario runner,
@@ -51,6 +57,8 @@ from .specs import (
     ChannelSpec,
     DetectorSetupFactory,
     DetectorSetupSpec,
+    EngineFactory,
+    EngineSpec,
     StrategyFactory,
     StrategySpec,
     WorkloadFactory,
@@ -62,6 +70,7 @@ __all__ = [
     "ChannelSpec",
     "DetectorSetupSpec",
     "DuplicateComponentError",
+    "EngineSpec",
     "Registry",
     "RegistryError",
     "StrategySpec",
@@ -69,18 +78,23 @@ __all__ = [
     "WorkloadSpec",
     "algorithm_names",
     "algorithms",
+    "all_registries",
     "channel_names",
     "channels",
     "detector_setup_names",
     "detector_setups",
+    "engine_names",
+    "engines",
     "get_algorithm",
     "get_channel",
     "get_detector_setup",
+    "get_engine",
     "get_strategy",
     "get_workload",
     "register_algorithm",
     "register_channel",
     "register_detector_setup",
+    "register_engine",
     "register_strategy",
     "register_workload",
     "strategies",
@@ -98,6 +112,12 @@ def _load_strategy_builtins() -> None:
     # The built-in exploration strategies live with the explore subsystem
     # (they are controllers first, registry entries second).
     importlib.import_module("repro.explore.strategies")
+
+
+def _load_engine_builtins() -> None:
+    # The built-in engine backends live with the simulation subsystem (they
+    # are dispatch strategies first, registry entries second).
+    importlib.import_module("repro.simulation.backends")
 
 
 _HINT = "Register new components with the repro.registry.register_* decorators"
@@ -122,6 +142,28 @@ workloads: Registry[WorkloadSpec] = Registry(
 strategies: Registry[StrategySpec] = Registry(
     "exploration strategy", loader=_load_strategy_builtins, hint=_HINT
 )
+#: Simulation-engine backends, selectable via ``Scenario.engine``.
+engines: Registry[EngineSpec] = Registry(
+    "engine backend", loader=_load_engine_builtins, hint=_HINT
+)
+
+#: Every registry, keyed by the title ``repro-urb components`` shows, in the
+#: order the tables render.  THE single enumeration point: new registries are
+#: added here once and every data-driven consumer (CLI listing, docs, error
+#: summaries) picks them up.
+_ALL_REGISTRIES: dict[str, Registry[Any]] = {
+    "Algorithms": algorithms,
+    "Channel families": channels,
+    "Failure-detector setups": detector_setups,
+    "Workload presets": workloads,
+    "Exploration strategies": strategies,
+    "Engine backends": engines,
+}
+
+
+def all_registries() -> dict[str, Registry[Any]]:
+    """Every component registry, keyed by display title, in display order."""
+    return dict(_ALL_REGISTRIES)
 
 
 # --------------------------------------------------------------------------- #
@@ -237,6 +279,37 @@ def register_strategy(
     return decorator
 
 
+def register_engine(
+    name: str,
+    *,
+    description: str = "",
+    batched: bool = False,
+    replace: bool = False,
+    **extra: Any,
+) -> Callable[[EngineFactory], EngineFactory]:
+    """Register a ``(**engine_kwargs) -> engine`` backend factory as *name*.
+
+    Backends must be bit-identical to ``reference`` on every parity-suite
+    scenario (see :mod:`repro.experiments.parity`); they may only differ in
+    *how* they dispatch, never in *what* they compute.
+    """
+
+    def decorator(factory: EngineFactory) -> EngineFactory:
+        engines.register(
+            EngineSpec(
+                name=name,
+                factory=factory,
+                description=description or (factory.__doc__ or "").strip(),
+                batched=batched,
+                extra=extra,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
 def register_workload(
     name: str,
     *,
@@ -289,6 +362,11 @@ def strategy_names() -> tuple[str, ...]:
     return strategies.names()
 
 
+def engine_names() -> tuple[str, ...]:
+    """Registered engine-backend names (built-ins first)."""
+    return engines.names()
+
+
 def get_algorithm(name: str) -> AlgorithmSpec:
     """Spec of the algorithm registered as *name* (raises if unknown)."""
     return algorithms.get(name)
@@ -312,3 +390,8 @@ def get_workload(name: str) -> WorkloadSpec:
 def get_strategy(name: str) -> StrategySpec:
     """Spec of the exploration strategy registered as *name* (raises if unknown)."""
     return strategies.get(name)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Spec of the engine backend registered as *name* (raises if unknown)."""
+    return engines.get(name)

@@ -17,17 +17,25 @@ needs to wire the component correctly without asking it anything else:
   scenario and a schedule index (see :mod:`repro.explore`).  ``enumerative``
   strategies additionally expose the size of their finite schedule space so
   the explorer can cap its budget.
+* :class:`EngineSpec` — builds the simulation engine itself (a dispatch
+  backend).  Every backend receives the exact keyword arguments of
+  :class:`~repro.simulation.engine.SimulationEngine` and must produce
+  bit-identical results to the ``reference`` backend (see DESIGN.md §12).
 
 Factories receive the full :class:`~repro.experiments.config.Scenario`, which
 keeps their signatures stable while letting implementations read whichever
 fields (or ``scenario.metadata`` entries) they care about.
+
+Each spec class also carries ``TABLE_COLUMNS`` — the ``(header, field)``
+pairs ``repro-urb components`` renders — so the CLI can enumerate any
+registry generically instead of hardcoding one table per component kind.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Mapping, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.interfaces import BroadcastProtocol
@@ -61,10 +69,24 @@ WorkloadFactory = Callable[["Scenario", random.Random], "Workload"]
 #: ``(scenario, schedule_index) -> controller`` — one schedule per index.
 StrategyFactory = Callable[["Scenario", int], "ScheduleController"]
 
+#: ``(**engine_kwargs) -> engine`` — called with the exact keyword arguments
+#: of :class:`~repro.simulation.engine.SimulationEngine`; usually the engine
+#: class itself.
+EngineFactory = Callable[..., Any]
+
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """A registered broadcast protocol."""
+
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("needs majority", "requires_majority"),
+        ("quiescent", "supports_quiescence"),
+        ("uses FDs", "uses_failure_detectors"),
+        ("anonymous", "anonymous"),
+        ("description", "description"),
+    )
 
     name: str
     factory: AlgorithmFactory
@@ -86,6 +108,12 @@ class AlgorithmSpec:
 class ChannelSpec:
     """A registered channel family."""
 
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("lossy", "lossy"),
+        ("description", "description"),
+    )
+
     name: str
     factory: ChannelFactoryBuilder
     description: str = ""
@@ -98,6 +126,11 @@ class ChannelSpec:
 class DetectorSetupSpec:
     """A registered failure-detector parameterisation."""
 
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("description", "description"),
+    )
+
     name: str
     factory: DetectorSetupFactory
     description: str = ""
@@ -107,6 +140,11 @@ class DetectorSetupSpec:
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A registered workload preset."""
+
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("description", "description"),
+    )
 
     name: str
     factory: WorkloadFactory
@@ -123,6 +161,12 @@ class StrategySpec:
     enumerated) schedule space.
     """
 
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("enumerative", "enumerative"),
+        ("description", "description"),
+    )
+
     name: str
     factory: StrategyFactory
     description: str = ""
@@ -131,4 +175,30 @@ class StrategySpec:
     #: For enumerative strategies: ``schedule_count(scenario)`` — the size of
     #: the space, used by the explorer to cap its budget.
     schedule_count: Optional[Callable[["Scenario"], int]] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered simulation-engine backend.
+
+    ``factory(**engine_kwargs)`` receives the keyword arguments of
+    :class:`~repro.simulation.engine.SimulationEngine` verbatim and returns
+    a ready-to-run engine.  Backends are *implementation strategies*, not
+    semantic variants: every backend must produce bit-identical trace
+    digests, delivery logs and metrics against ``reference`` (the parity
+    suite in :mod:`repro.experiments.parity` enforces this in CI).
+    """
+
+    TABLE_COLUMNS: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("name", "name"),
+        ("batched", "batched"),
+        ("description", "description"),
+    )
+
+    name: str
+    factory: EngineFactory
+    description: str = ""
+    #: The backend batches delivery dispatch (vs. per-event heap dispatch).
+    batched: bool = False
     extra: Mapping[str, Any] = field(default_factory=dict)

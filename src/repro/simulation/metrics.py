@@ -159,6 +159,32 @@ class MetricsCollector:
         self.total_drops += 1
         self.drops_by_kind[kind] += 1
 
+    def on_send_many(self, time: SimTime, src: int, kind: str, count: int) -> None:
+        """Aggregate equivalent of *count* consecutive :meth:`on_send` calls.
+
+        Used by batching engine backends for one broadcast's fan-out; the
+        resulting collector state (counters and, at FULL level, the send
+        timeline) is identical to *count* individual calls at *time*.
+        """
+        if not self.active or count <= 0:
+            return
+        total = self.total_sends
+        self.total_sends = total + count
+        self.sends_by_kind[kind] += count
+        self.sends_by_process[src] += count
+        self.last_send_time = time
+        if self._full:
+            self.send_timeline.extend(
+                (time, total + offset) for offset in range(1, count + 1)
+            )
+
+    def on_drop_many(self, time: SimTime, src: int, kind: str, count: int) -> None:
+        """Aggregate equivalent of *count* consecutive :meth:`on_drop` calls."""
+        if not self.active or count <= 0:
+            return
+        self.total_drops += count
+        self.drops_by_kind[kind] += count
+
     def on_channel_deliver(self, time: SimTime, dst: int, kind: str) -> None:
         """Record a channel delivery (payload reached its destination)."""
         if self.active:

@@ -172,6 +172,22 @@ class EventQueue:
         self._live += 1
         self._pending[entry.kind.slot] += 1
 
+    def claim_seqs(self, count: int) -> int:
+        """Reserve *count* consecutive sequence numbers and return the first.
+
+        Used by batching engine backends (see
+        :mod:`repro.simulation.vectorized`) that keep delivery events outside
+        the heap: claiming the numbers through the queue's counter keeps
+        batched events on the same global ``(time, seq)`` total order as
+        heap-scheduled ticks/checks, which is exactly the reference engine's
+        dispatch order.
+        """
+        if count < 0:
+            raise ValueError("cannot claim a negative number of seqs")
+        seq = self._next_seq
+        self._next_seq = seq + count
+        return seq
+
     # ------------------------------------------------------------------ #
     # consumption
     # ------------------------------------------------------------------ #

@@ -1,0 +1,776 @@
+"""Vectorized engine backend: batched delivery dispatch over a SoA core.
+
+:class:`VectorizedEngine` is a drop-in :class:`~.engine.SimulationEngine`
+subclass registered as the ``vectorized`` backend (see
+:mod:`repro.simulation.backends`).  It replaces per-event heap traffic for
+channel deliveries — by far the dominant event population — with
+struct-of-arrays *delivery chunks* merged one time slice at a time:
+
+* Each broadcast's fan-out becomes one :class:`_Chunk` holding the delivery
+  times, sequence numbers and destinations as a single ``(3, k)`` float64
+  array, time-sorted once at construction.  Pending copies cost 24 bytes
+  each — one ndarray for the whole fan-out — instead of a pooled event
+  object plus a heap tuple.  (Seqs and destinations are exact in float64:
+  both stay far below 2**53; the sampler guards the seq range.)
+* The main loop advances through *time slices* of width ``W``, the minimum
+  possible channel delay of the run: every delivery created while dispatching
+  a slice ``[w0, w0 + W)`` necessarily lands at or after ``w0 + W``, so the
+  slice's events can be gathered from the pending chunks once, merged with a
+  single ``lexsort`` into the reference ``(time, seq)`` total order, and
+  dispatched with a plain loop — no per-event heap operations at all.  The
+  small chunk heap is touched only when a chunk enters or spans a slice.
+* Channel randomness is prefetched per source row into NumPy blocks
+  (:class:`_RowSampler`): one loss uniform per channel per broadcast and one
+  delay uniform per delivery, consumed from per-channel cursors.  Because
+  every protocol send in this codebase is a broadcast, all channels of a
+  source row advance their substreams in lockstep, so block prefetching
+  consumes each per-channel stream in exactly the reference order.
+
+When no positive minimum delay exists (exponential or custom delay models,
+custom channel classes), slicing is unsound and the engine falls back to a
+per-entry merge: the chunk heap then carries one head tuple per chunk and is
+re-pushed after every dispatched copy — still far less state than the
+reference engine's per-copy events, just without the sliced inner loop.
+
+Bit-identical parity with ``reference`` is a hard requirement, enforced by
+:mod:`repro.experiments.parity` in CI.  The mechanisms:
+
+* Sequence numbers for a chunk are *claimed* from the shared
+  :class:`~.scheduler.EventQueue` counter (:meth:`EventQueue.claim_seqs`) at
+  the same program point the reference engine would have scheduled the
+  copies, in the same destination order — so the merged dispatch order over
+  chunks plus heap events is the reference ``(time, seq)`` total order,
+  tie-breaks included (the per-chunk time sort is stable).
+* The loss draw / fairness guard / delay draw sequence per channel replays
+  :meth:`LossyChannel.transmit` exactly: loss uniforms are consumed once per
+  attempt only for ``0 < p < 1`` (the ``p == 0``/``p == 1`` shortcuts draw
+  nothing), the guard dictionaries are the channels' own, and the delay
+  uniform is consumed only on (possibly guard-forced) delivery, evaluated
+  with the same ``low + (high - low) * u`` expression the stdlib uses.
+* Aggregate bookkeeping (metrics counters, channel stats, event stats)
+  is flushed in forms that are arithmetically identical to the reference
+  engine's per-event updates; nothing observes the intermediate values on
+  the batched path because that path only runs with no hooks attached.
+
+Fallback: when a :class:`~repro.explore.controller.ScheduleController`,
+engine hooks, or a FULL trace level (per-copy SEND/DROP/CHANNEL_DELIVER
+records) are active, :meth:`run` silently delegates to the reference
+per-event loop — same class, same results, so explore/replay stay exact.
+``dispatch_mode`` records which path ran.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.messages import payload_kind
+from ..network.channel import LossyChannel
+from ..network.delay import BatchedUniformDelay, FixedDelay, UniformDelay
+from ..network.loss import BernoulliLoss, NoLoss
+from ..network.reliable import QuasiReliableChannel, ReliableChannel
+from .engine import SimulationEngine, SimulationResult
+from .events import EventKind
+from .simtime import SimTime
+
+#: Prefetched draws per channel block.  Public so tests can shrink it to
+#: force mid-run refills; any value produces identical results (each
+#: per-channel stream is consumed strictly sequentially).
+SAMPLE_BLOCK = 256
+
+#: Slice entries materialised as Python objects at a time during dispatch.
+#: Bounds the boxed-float transient of very dense slices (hundreds of
+#: thousands of deliveries can share one slice during ACK storms).
+_DISPATCH_SEGMENT = 8192
+
+#: Chunk columns store sequence numbers as float64; exact up to 2**53.
+_SEQ_EXACT_LIMIT = 2 ** 53
+
+#: ``transmit`` implementations known to deliver at ``now + delay.sample()``
+#: (or drop).  Rows made of these can bound their minimum delivery delay by
+#: the delay model alone, which is what makes time slicing sound.
+_BOUNDED_TRANSMITS = (
+    LossyChannel.transmit,
+    ReliableChannel.transmit,
+    QuasiReliableChannel.transmit,
+)
+
+
+class _Chunk:
+    """One broadcast's delivered fan-out as a time-sorted ``(3, k)`` array.
+
+    ``cols[0]`` is delivery times, ``cols[1]`` sequence numbers, ``cols[2]``
+    destinations — all float64, so a chunk costs a single small ndarray
+    (average fan-outs are a few dozen entries; separate per-column arrays
+    would triple the object overhead, which dominates at that size).
+    ``start`` indexes the first entry not yet handed to the dispatch loop;
+    the columns themselves are immutable once built.
+    """
+
+    __slots__ = ("cols", "payload", "start")
+
+    def __init__(self, cols: np.ndarray, payload: Any) -> None:
+        self.cols = cols
+        self.payload = payload
+        self.start = 0
+
+
+class _RowSampler:
+    """Per-source-row channel sampler replicating ``LossyChannel.transmit``.
+
+    Two modes, chosen once per row:
+
+    * *vector* — every channel in the row is a :class:`LossyChannel` with a
+      homogeneous Bernoulli/no-loss model and a homogeneous uniform/fixed
+      delay model.  Loss uniforms are prefetched into a ``(block, m)``
+      matrix (one row per broadcast), delay uniforms into per-channel
+      columns consumed on delivery only.  Channel stats are accumulated in
+      arrays and flushed at end of run; the fairness-guard dicts used are
+      the channels' own.
+    * *generic* — anything else (heterogeneous rows, stateful loss models,
+      exponential/custom delays, non-lossy channel families): fall back to
+      ``network.broadcast_fast`` per broadcast, which runs each channel's
+      own ``transmit`` and is therefore exact by construction.  The chunk
+      dispatch win is kept either way.
+    """
+
+    __slots__ = (
+        "network", "src", "dsts", "dst_arr", "channels", "m",
+        "vector", "probability", "no_drop", "fairness_bound", "guards",
+        "loss_rngs", "loss_drops", "loss_cursor",
+        "delay_fixed", "delay_low", "delay_span", "delay_rngs",
+        "delay_u", "delay_cursors",
+        "broadcasts", "dropped_counts", "forced_counts", "any_guard",
+        "all_idx",
+    )
+
+    def __init__(self, network: Any, src: int) -> None:
+        self.network = network
+        self.src = src
+        row = network._row(src)
+        channels = [ch for ch in row if ch is not None]
+        self.channels = channels
+        self.dsts = [ch.dst for ch in channels]
+        self.m = len(channels)
+        self.broadcasts = 0
+        self.any_guard = False
+        self.vector = self._try_vector_mode(channels)
+        if self.vector:
+            m = self.m
+            # float64: destinations feed straight into chunk columns.
+            self.dst_arr = np.asarray(self.dsts, dtype=np.float64)
+            self.all_idx = np.arange(m, dtype=np.int64)
+            self.guards = [ch._consecutive_drops for ch in channels]
+            # A reused network may carry guard state from a previous run;
+            # the reference path would clear it on delivery, so must we.
+            self.any_guard = any(self.guards)
+            self.dropped_counts = np.zeros(m, dtype=np.int64)
+            self.forced_counts = np.zeros(m, dtype=np.int64)
+            self.loss_drops = None
+            self.loss_cursor = 0
+            if not self.no_drop:
+                self.loss_rngs = [ch.loss_model._rng for ch in channels]
+            if self.delay_fixed is None:
+                self.delay_rngs = [ch.delay_model._rng for ch in channels]
+                self.delay_u = np.empty((SAMPLE_BLOCK, m), dtype=np.float64)
+                self.delay_cursors = np.full(m, SAMPLE_BLOCK, dtype=np.int64)
+
+    def _try_vector_mode(self, channels: list) -> bool:
+        """Vector mode needs a homogeneous LossyChannel row (see class doc)."""
+        if not channels:
+            return False
+        bounds = set()
+        probabilities = set()
+        delays: set = set()
+        for ch in channels:
+            if type(ch).transmit is not LossyChannel.transmit:
+                return False
+            bounds.add(ch.fairness_bound)
+            loss = ch.loss_model
+            if isinstance(loss, NoLoss):
+                probabilities.add(0.0)
+            elif isinstance(loss, BernoulliLoss):
+                probabilities.add(loss.probability)
+            else:
+                return False
+            delay = ch.delay_model
+            if type(delay) is FixedDelay:
+                delays.add(("fixed", delay.delay))
+            elif type(delay) is UniformDelay:
+                delays.add(("uniform", delay.low, delay.high))
+            else:
+                return False
+        if len(bounds) != 1 or len(probabilities) != 1 or len(delays) != 1:
+            return False
+        probability = probabilities.pop()
+        if probability >= 1.0:
+            # All-drop rows interleave guard state with every attempt; the
+            # generic path handles them exactly and they are never hot.
+            return False
+        self.probability = probability
+        self.no_drop = probability == 0.0
+        self.fairness_bound = bounds.pop()
+        delay_kind = delays.pop()
+        if delay_kind[0] == "fixed":
+            self.delay_fixed = delay_kind[1]
+        else:
+            self.delay_fixed = None
+            self.delay_low = delay_kind[1]
+            self.delay_span = delay_kind[2] - delay_kind[1]
+        return True
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def broadcast(self, payload: Any, now: SimTime, queue: Any) -> tuple:
+        """Sample one broadcast.  Returns ``(sent, cols | None)``.
+
+        ``sent`` is the number of attempted copies; ``cols`` is the
+        time-sorted ``(3, k)`` chunk column array (times / seqs / dsts), or
+        ``None`` when every copy was dropped.
+        """
+        if not self.vector:
+            return self._broadcast_generic(payload, now, queue)
+        self.broadcasts += 1
+        if self.no_drop:
+            delivered_idx = self.all_idx
+            if self.any_guard:
+                self._clear_guard(delivered_idx, self.network.dedup_key(payload))
+        else:
+            drops = self.loss_drops
+            cursor = self.loss_cursor
+            if drops is None or cursor >= SAMPLE_BLOCK:
+                drops = self._refill_loss()
+                cursor = 0
+            mask = drops[cursor]
+            self.loss_cursor = cursor + 1
+            if mask.any():
+                delivered_idx = self._apply_guard(
+                    mask, self.network.dedup_key(payload)
+                )
+            else:
+                delivered_idx = self.all_idx
+                if self.any_guard:
+                    self._clear_guard(delivered_idx,
+                                      self.network.dedup_key(payload))
+        k = len(delivered_idx)
+        if k == 0:
+            return self.m, None
+        seq0 = queue.claim_seqs(k)
+        if seq0 + k > _SEQ_EXACT_LIMIT:
+            raise OverflowError("sequence numbers exceed float64 exactness")
+        cols = np.empty((3, k), dtype=np.float64)
+        if self.delay_fixed is not None:
+            # Equal delays: time order is destination order already.
+            cols[0] = now + self.delay_fixed
+            cols[1] = np.arange(seq0, seq0 + k, dtype=np.float64)
+            cols[2] = self.dst_arr[delivered_idx]
+            return self.m, cols
+        cursors = self.delay_cursors
+        ci = cursors[delivered_idx]
+        if (ci >= SAMPLE_BLOCK).any():
+            for j in delivered_idx[ci >= SAMPLE_BLOCK].tolist():
+                self._refill_delay(j)
+            ci = cursors[delivered_idx]
+        u = self.delay_u[ci, delivered_idx]
+        cursors[delivered_idx] = ci + 1
+        # Exactly the stdlib's uniform(a, b): a + (b - a) * random().
+        times_arr = now + (self.delay_low + self.delay_span * u)
+        order = np.argsort(times_arr, kind="stable")
+        cols[0] = times_arr[order]
+        cols[1] = order
+        cols[1] += seq0
+        cols[2] = self.dst_arr[delivered_idx[order]]
+        return self.m, cols
+
+    def _apply_guard(self, mask: np.ndarray, key: Any) -> np.ndarray:
+        """Replay the fairness guard for one drop mask; returns delivered idx."""
+        dropped = np.nonzero(mask)[0]
+        bound = self.fairness_bound
+        guards = self.guards
+        dropped_counts = self.dropped_counts
+        forced: list[int] = []
+        for j in dropped.tolist():
+            guard = guards[j]
+            if bound is not None and guard.get(key, 0) >= bound:
+                forced.append(j)
+            else:
+                dropped_counts[j] += 1
+                guard[key] = guard.get(key, 0) + 1
+        self.any_guard = True
+        if forced:
+            mask = mask.copy()
+            mask[forced] = False
+            self.forced_counts[forced] += 1
+        delivered_idx = np.nonzero(~mask)[0]
+        self._clear_guard(delivered_idx, key)
+        return delivered_idx
+
+    def _clear_guard(self, delivered_idx: np.ndarray, key: Any) -> None:
+        guards = self.guards
+        for j in delivered_idx.tolist():
+            guard = guards[j]
+            if guard and key in guard:
+                del guard[key]
+
+    def _refill_loss(self) -> np.ndarray:
+        block = np.empty((SAMPLE_BLOCK, self.m), dtype=np.float64)
+        for j, rng in enumerate(self.loss_rngs):
+            random = rng.random
+            block[:, j] = [random() for _ in range(SAMPLE_BLOCK)]
+        drops = block < self.probability
+        self.loss_drops = drops
+        self.loss_cursor = 0
+        return drops
+
+    def _refill_delay(self, column: int) -> None:
+        random = self.delay_rngs[column].random
+        self.delay_u[:, column] = [random() for _ in range(SAMPLE_BLOCK)]
+        self.delay_cursors[column] = 0
+
+    def _broadcast_generic(self, payload: Any, now: SimTime,
+                           queue: Any) -> tuple:
+        """Exact generic path: per-channel ``transmit`` via broadcast_fast."""
+        sent = 0
+        delivered: list[tuple[SimTime, int]] = []
+        for dst, deliver_time in self.network.broadcast_fast(
+            self.src, payload, now
+        ):
+            sent += 1
+            if deliver_time is not None:
+                delivered.append((deliver_time, dst))
+        k = len(delivered)
+        if k == 0:
+            return sent, None
+        seq0 = queue.claim_seqs(k)
+        if seq0 + k > _SEQ_EXACT_LIMIT:
+            raise OverflowError("sequence numbers exceed float64 exactness")
+        order = sorted(range(k), key=lambda i: delivered[i][0])
+        cols = np.empty((3, k), dtype=np.float64)
+        cols[0] = [delivered[i][0] for i in order]
+        cols[1] = [seq0 + i for i in order]
+        cols[2] = [delivered[i][1] for i in order]
+        return sent, cols
+
+    # ------------------------------------------------------------------ #
+    # end-of-run flush
+    # ------------------------------------------------------------------ #
+    def flush_stats(self) -> None:
+        """Fold the accumulated per-row counters into the channels' stats.
+
+        Only vector mode defers stats (the generic path goes through each
+        channel's own ``transmit``).  ``delivered = attempts - dropped``
+        exactly as the per-transmit updates would have left them.
+        """
+        if not self.vector or self.broadcasts == 0:
+            return
+        attempts = self.broadcasts
+        dropped_counts = self.dropped_counts
+        forced_counts = self.forced_counts
+        for j, channel in enumerate(self.channels):
+            stats = channel.stats
+            dropped = int(dropped_counts[j])
+            stats.attempts += attempts
+            stats.dropped += dropped
+            stats.delivered += attempts - dropped
+            stats.forced_deliveries += int(forced_counts[j])
+        self.broadcasts = 0
+        dropped_counts[:] = 0
+        forced_counts[:] = 0
+
+
+class VectorizedEngine(SimulationEngine):
+    """SimulationEngine with sliced (struct-of-arrays) delivery dispatch.
+
+    Bit-identical to the reference engine by construction (see module docs);
+    falls back to the inherited per-event loop whenever a controller, hooks
+    or a FULL trace level require per-copy observability.
+    """
+
+    #: ``"batched"`` or ``"per-event"`` — which dispatch path :meth:`run`
+    #: took.  ``None`` until :meth:`run` is called.
+    dispatch_mode: Optional[str] = None
+
+    def _batchable(self) -> bool:
+        """Whether the batched core preserves every observable of this run.
+
+        Controllers decide per-copy fates, hooks observe per-copy events,
+        and FULL tracing records per-copy SEND/DROP/CHANNEL_DELIVER entries
+        — all three need the per-event loop.  DELIVERIES-level tracing and
+        every metrics level are exactly reproduced by the batched path.
+        """
+        return (
+            self.controller is None
+            and not self.hooks
+            and not self.trace.channel_active
+        )
+
+    def run(self) -> SimulationResult:
+        if not self._batchable():
+            self.dispatch_mode = "per-event"
+            return super().run()
+        self.dispatch_mode = "batched"
+        return self._run_batched()
+
+    # ------------------------------------------------------------------ #
+    # batched services
+    # ------------------------------------------------------------------ #
+    def broadcast_from(self, src: int, payload: Any) -> None:
+        if not self._fast_active:
+            super().broadcast_from(src, payload)
+            return
+        if src in self._crashed:
+            return
+        sampler = self._row_samplers[src]
+        if sampler is None:
+            sampler = _RowSampler(self.network, src)
+            self._row_samplers[src] = sampler
+        now = self._now
+        sent, cols = sampler.broadcast(payload, now, self.queue)
+        kind = payload_kind(payload)
+        metrics = self.metrics
+        if metrics.active:
+            metrics.on_send_many(now, src, kind, sent)
+        if cols is None:
+            if metrics.active:
+                metrics.on_drop_many(now, src, kind, sent)
+            return
+        k = cols.shape[1]
+        dropped = sent - k
+        if dropped and metrics.active:
+            metrics.on_drop_many(now, src, kind, dropped)
+        self._batch_pending += k
+        chunk = _Chunk(cols, payload)
+        heappush(self._chunk_heap,
+                 (float(cols[0, 0]), int(cols[1, 0]), chunk))
+
+    def _quiescence_reached(self) -> bool:
+        # Pending chunk deliveries are in-flight copies exactly like the
+        # reference engine's pending RECEIVE events.
+        if self._batch_pending:
+            return False
+        return super()._quiescence_reached()
+
+    # ------------------------------------------------------------------ #
+    # batched main loop
+    # ------------------------------------------------------------------ #
+    def _min_delay_window(self) -> float:
+        """The run's time-slice width: the minimum possible channel delay.
+
+        Every delivery created while the engine dispatches events in
+        ``[w0, w0 + W)`` lands at or after ``w0 + W`` (monotone float
+        addition of a delay ``>= W``), which is exactly the property the
+        sliced merge needs.  Returns ``0.0`` — disabling slicing — when any
+        channel's delay cannot be bounded below by a positive constant.
+        """
+        bound = float("inf")
+        network = self.network
+        for src in range(self.config.n_processes):
+            for ch in network._row(src):
+                if ch is None:
+                    continue
+                if type(ch).transmit not in _BOUNDED_TRANSMITS:
+                    return 0.0
+                delay = ch.delay_model
+                if type(delay) is FixedDelay:
+                    low = delay.delay
+                elif type(delay) is UniformDelay or \
+                        type(delay) is BatchedUniformDelay:
+                    low = delay.low
+                else:
+                    # Exponential delays do have a positive clamp, but it is
+                    # orders of magnitude below the typical delay — slices
+                    # that thin cost more than per-entry merging.
+                    return 0.0
+                if low <= 0.0:
+                    return 0.0
+                if low < bound:
+                    bound = low
+        return 0.0 if bound == float("inf") else bound
+
+    def _run_batched(self) -> SimulationResult:
+        self._chunk_heap: list = []
+        self._batch_pending = 0
+        self._row_samplers: list[Optional[_RowSampler]] = (
+            [None] * self.config.n_processes
+        )
+        self._fast_active = True
+        try:
+            self._seed_initial_events()
+            window = self._min_delay_window()
+            if window > 0.0:
+                receive_count, deliver_count = self._merge_sliced(window)
+            else:
+                receive_count, deliver_count = self._merge_per_entry()
+        finally:
+            self._fast_active = False
+        # Flush the aggregate bookkeeping the batched loop deferred; every
+        # value lands exactly where the per-event loop would have left it.
+        metrics = self.metrics
+        if receive_count:
+            self.event_stats.dispatched[EventKind.RECEIVE] += receive_count
+        if deliver_count:
+            metrics.total_channel_deliveries += deliver_count
+        for sampler in self._row_samplers:
+            if sampler is not None:
+                sampler.flush_stats()
+        final_time = min(self._now, self.config.max_time)
+        metrics.on_finish(final_time)
+        provenance = self._schedule_provenance()
+        self.trace.header.update(provenance.as_dict())
+        return SimulationResult(
+            config=self.config,
+            crash_schedule=self._effective_crash_schedule(),
+            trace=self.trace,
+            metrics=metrics,
+            delivery_logs={
+                index: process.delivery_log
+                for index, process in self.processes.items()
+            },
+            processes=dict(self.processes),
+            expected_contents=tuple(cmd.content for cmd in self.workload),
+            final_time=final_time,
+            stop_reason=self._stop_reason,
+            event_stats=self.event_stats,
+            schedule=provenance,
+        )
+
+    def _gather_slice(self, w1: float) -> tuple:
+        """Collect every pending chunk entry with ``time < w1``.
+
+        Returns ``(cols, payloads)`` in the reference ``(time, seq)``
+        dispatch order: ``cols`` is a ``(3, n)`` column array (or ``None``
+        when the slice is empty) and ``payloads`` is either a single object
+        (every entry shares it — the single-chunk fast path) or a length-n
+        object array.  The dispatch loop boxes the columns segment by
+        segment; a dense slice never materialises all its Python floats at
+        once.
+        """
+        chunks = self._chunk_heap
+        parts = []
+        payload_parts = []
+        while chunks and chunks[0][0] < w1:
+            _, _, chunk = heappop(chunks)
+            cols = chunk.cols
+            times = cols[0]
+            start = chunk.start
+            split = start + int(
+                np.searchsorted(times[start:], w1, side="left")
+            )
+            parts.append(cols[:, start:split])
+            payload_parts.append((chunk.payload, split - start))
+            if split < cols.shape[1]:
+                chunk.start = split
+                heappush(chunks,
+                         (float(times[split]), int(cols[1, split]), chunk))
+        if not parts:
+            return None, None
+        if len(parts) == 1:
+            # A single chunk is already in dispatch order (time-sorted with
+            # ascending seqs on ties) and shares one payload.
+            return parts[0], payload_parts[0][0]
+        merged = np.concatenate(parts, axis=1)
+        # lexsort: primary key last — times first, seqs break exact ties.
+        order = np.lexsort((merged[1], merged[0]))
+        payloads = np.empty(merged.shape[1], dtype=object)
+        pos = 0
+        for payload, count in payload_parts:
+            # Payloads are protocol message objects, never sequences, so
+            # this broadcast-fills `count` slots with the same object.
+            payloads[pos:pos + count] = payload
+            pos += count
+        return merged[:, order], payloads[order]
+
+    def _merge_sliced(self, window: float) -> tuple[int, int]:
+        """Main loop: dispatch slice-merged chunk entries + queue events.
+
+        Replicates the reference loop's per-event order and stop semantics:
+        ``(time, seq)`` total order across deliveries and queue events,
+        horizon break *without* advancing ``_now``, deadline break after.
+        """
+        queue = self.queue
+        chunks = self._chunk_heap
+        max_time = self.config.max_time
+        crashed = self._crashed
+        processes = self.processes
+        metrics_active = self.metrics.active
+        dispatch = self._dispatch
+        recycle = queue.recycle
+        receive_count = 0
+        deliver_count = 0
+        next_entry = queue.peek()
+        stop = False
+        while not stop:
+            if chunks:
+                head_time = chunks[0][0]
+                if next_entry is not None and next_entry.time < head_time:
+                    w1 = next_entry.time + window
+                else:
+                    w1 = head_time + window
+            elif next_entry is not None:
+                w1 = next_entry.time + window
+            else:
+                break
+            cols, pay = self._gather_slice(w1)
+            n_w = 0 if cols is None else cols.shape[1]
+            shared_payload = not isinstance(pay, np.ndarray)
+            wt = ws = wd = wp = None
+            seg_end = 0
+            li = 0
+            i = 0
+            synced = 0
+            while True:
+                if self._stop_requested:
+                    stop = True
+                    break
+                if i < n_w:
+                    if i == seg_end:
+                        # Box the next segment of the slice columns.  dsts
+                        # stay floats: dict/set lookups hash 3.0 like 3.
+                        hi = seg_end + _DISPATCH_SEGMENT
+                        if hi > n_w:
+                            hi = n_w
+                        wt = cols[0, i:hi].tolist()
+                        ws = cols[1, i:hi].tolist()
+                        wd = cols[2, i:hi].tolist()
+                        wp = ([pay] * (hi - i) if shared_payload
+                              else pay[i:hi].tolist())
+                        seg_end = hi
+                        li = 0
+                    t = wt[li]
+                    if next_entry is not None:
+                        et = next_entry.time
+                        if et < t or (et == t and next_entry.seq < ws[li]):
+                            event = queue.pop()
+                            if et > max_time:
+                                self._stop_reason = "horizon"
+                                stop = True
+                                break
+                            self._now = et
+                            deadline = self._stop_deadline
+                            if deadline is not None and et >= deadline:
+                                stop = True
+                                break
+                            if i != synced:
+                                # An ENGINE_CHECK's quiescence predicate
+                                # reads _batch_pending; keep it exact at
+                                # every queue-event dispatch point.
+                                self._batch_pending -= i - synced
+                                synced = i
+                            dispatch(event)
+                            recycle(event)
+                            next_entry = queue.peek()
+                            continue
+                    if t > max_time:
+                        self._stop_reason = "horizon"
+                        stop = True
+                        break
+                    self._now = t
+                    deadline = self._stop_deadline
+                    if deadline is not None and t >= deadline:
+                        stop = True
+                        break
+                    receive_count += 1
+                    dst = wd[li]
+                    i += 1
+                    li += 1
+                    if dst not in crashed:
+                        if metrics_active:
+                            deliver_count += 1
+                        processes[dst].on_receive(wp[li - 1])
+                    continue
+                # Slice entries exhausted: drain queue events that still
+                # precede the slice boundary, then advance to the next slice
+                # (chunks created meanwhile land at >= w1 by construction).
+                if next_entry is not None and next_entry.time < w1:
+                    et = next_entry.time
+                    event = queue.pop()
+                    if et > max_time:
+                        self._stop_reason = "horizon"
+                        stop = True
+                        break
+                    self._now = et
+                    deadline = self._stop_deadline
+                    if deadline is not None and et >= deadline:
+                        stop = True
+                        break
+                    if i != synced:
+                        self._batch_pending -= i - synced
+                        synced = i
+                    dispatch(event)
+                    recycle(event)
+                    next_entry = queue.peek()
+                    continue
+                break
+            self._batch_pending -= i - synced
+        return receive_count, deliver_count
+
+    def _merge_per_entry(self) -> tuple[int, int]:
+        """Fallback merge for runs without a positive minimum delay.
+
+        One head tuple per chunk on the heap, re-pushed per dispatched copy
+        — the pre-slicing behaviour, exact for any delay model.
+        """
+        queue = self.queue
+        heap = self._chunk_heap
+        max_time = self.config.max_time
+        crashed = self._crashed
+        processes = self.processes
+        metrics_active = self.metrics.active
+        dispatch = self._dispatch
+        recycle = queue.recycle
+        receive_count = 0
+        deliver_count = 0
+        next_entry = queue.peek()
+        while True:
+            if self._stop_requested:
+                break
+            if heap:
+                head = heap[0]
+                if next_entry is None or head[0] < next_entry.time or (
+                    head[0] == next_entry.time and head[1] < next_entry.seq
+                ):
+                    time, seq, chunk = heappop(heap)
+                    if time > max_time:
+                        self._stop_reason = "horizon"
+                        break
+                    self._now = time
+                    if (self._stop_deadline is not None
+                            and time >= self._stop_deadline):
+                        break
+                    receive_count += 1
+                    self._batch_pending -= 1
+                    cols = chunk.cols
+                    start = chunk.start
+                    dst = int(cols[2, start])
+                    start += 1
+                    if start < cols.shape[1]:
+                        chunk.start = start
+                        heappush(heap, (float(cols[0, start]),
+                                        int(cols[1, start]), chunk))
+                    if dst not in crashed:
+                        if metrics_active:
+                            deliver_count += 1
+                        processes[dst].on_receive(chunk.payload)
+                    continue
+            if next_entry is None:
+                break
+            event = queue.pop()
+            if event.time > max_time:
+                self._stop_reason = "horizon"
+                break
+            self._now = event.time
+            if (self._stop_deadline is not None
+                    and event.time >= self._stop_deadline):
+                break
+            dispatch(event)
+            recycle(event)
+            next_entry = queue.peek()
+        return receive_count, deliver_count
+
+    #: broadcast_from consults this before taking the batched path; the
+    #: per-event fallback (super().run()) never sets it.
+    _fast_active: bool = False
+    _batch_pending: int = 0

@@ -1,0 +1,147 @@
+"""Engine-backend registry and vectorized/reference parity tests.
+
+The ``engines`` registry's contract is that a backend is a dispatch
+strategy, never a semantics change: every backend must be bit-identical to
+``reference`` on the parity battery, must silently fall back to per-event
+dispatch whenever per-copy observability is required (controllers, hooks,
+FULL traces), and must round-trip through scenario serialisation like any
+other registry-named component.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scenario
+from repro.experiments.parity import (
+    compare_engines,
+    fingerprint,
+    parity_cases,
+    run_fingerprint,
+)
+from repro.experiments.runner import build_engine
+from repro.explore.serialize import scenario_from_dict, scenario_to_dict
+from repro.registry import (
+    UnknownComponentError,
+    all_registries,
+    engine_names,
+    engines,
+    get_engine,
+)
+from repro.simulation import vectorized
+from repro.simulation.backends import VectorizedEngine
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.tracing import TraceLevel
+
+CASES = {scenario.name: scenario for scenario in parity_cases()}
+
+
+# --------------------------------------------------------------------------- #
+# registry surface
+# --------------------------------------------------------------------------- #
+def test_engines_registry_contents():
+    names = engine_names()
+    assert "reference" in names
+    assert "vectorized" in names
+    assert get_engine("reference").batched is False
+    assert get_engine("vectorized").batched is True
+    engine = build_engine(Scenario(name="vec", algorithm="algorithm1",
+                                   n_processes=3, max_time=10.0,
+                                   engine="vectorized"))
+    assert type(engine) is VectorizedEngine
+
+
+def test_engines_registry_in_all_registries():
+    registries = all_registries()
+    assert registries["Engine backends"] is engines
+
+
+def test_unknown_engine_name_raises_registry_error():
+    with pytest.raises(UnknownComponentError):
+        engines.get("warp-drive")
+    with pytest.raises(UnknownComponentError):
+        Scenario(name="bad", algorithm="algorithm1", engine="warp-drive")
+
+
+def test_reference_engine_factory_is_the_reference_class():
+    engine = build_engine(Scenario(name="ref", algorithm="algorithm1",
+                                   n_processes=3, max_time=10.0))
+    assert type(engine) is SimulationEngine
+
+
+# --------------------------------------------------------------------------- #
+# bit-identical parity across the battery
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_vectorized_matches_reference(name):
+    report = compare_engines(CASES[name])
+    modes = {run.engine: run.dispatch_mode for run in report.runs}
+    assert report.ok, report.diff()
+    # The comparison must not be vacuous: the vectorized run has to take
+    # its batched path (these scenarios attach no controller/hooks and the
+    # parity runner keeps traces at DELIVERIES level).
+    assert modes["vectorized"] == "batched"
+
+
+def test_small_sample_block_is_bit_identical(monkeypatch):
+    # Tiny prefetch blocks force mid-run refills of the loss matrix and the
+    # per-channel delay columns; results must not depend on block size.
+    monkeypatch.setattr(vectorized, "SAMPLE_BLOCK", 3)
+    scenario = CASES["bernoulli-uniform"]
+    report = compare_engines(scenario)
+    assert report.ok, report.diff()
+
+
+# --------------------------------------------------------------------------- #
+# per-event fallbacks
+# --------------------------------------------------------------------------- #
+def test_controller_forces_per_event_dispatch_with_parity():
+    scenario = CASES["bernoulli-uniform"].with_(
+        explore_strategy="random_walk", explore_index=0, max_time=40.0,
+    )
+    results = {}
+    for engine in ("reference", "vectorized"):
+        built = build_engine(scenario.with_(engine=engine))
+        assert built.controller is not None
+        results[engine] = (built, fingerprint(built.run()))
+    vec_engine, vec_fp = results["vectorized"]
+    assert vec_engine.dispatch_mode == "per-event"
+    assert vec_fp == results["reference"][1]
+
+
+def test_full_trace_forces_per_event_dispatch_with_parity():
+    run = run_fingerprint(CASES["bernoulli-uniform"], "vectorized",
+                          trace_level=TraceLevel.FULL)
+    assert run.dispatch_mode == "per-event"
+    reference = run_fingerprint(CASES["bernoulli-uniform"], "reference",
+                                trace_level=TraceLevel.FULL)
+    assert run.fingerprint == reference.fingerprint
+
+
+def test_hooks_force_per_event_dispatch():
+    from repro.simulation.hooks import DeliveryTimelineHook
+
+    scenario = CASES["bernoulli-uniform"].with_(engine="vectorized",
+                                                hooks=(DeliveryTimelineHook(),))
+    engine = build_engine(scenario)
+    engine.run()
+    assert engine.dispatch_mode == "per-event"
+
+
+# --------------------------------------------------------------------------- #
+# scenario serialisation
+# --------------------------------------------------------------------------- #
+def test_explicit_engine_round_trips_through_serialize():
+    scenario = CASES["bernoulli-uniform"].with_(engine="vectorized")
+    data = scenario_to_dict(scenario)
+    assert data["engine"] == "vectorized"
+    assert scenario_from_dict(data) == scenario
+
+
+def test_default_engine_is_omitted_and_old_dicts_default_to_reference():
+    scenario = CASES["bernoulli-uniform"]
+    data = scenario_to_dict(scenario)
+    assert "engine" not in data
+    # Dicts written before the engines registry existed carry no key at
+    # all; they must deserialise to the reference backend.
+    assert scenario_from_dict(data).engine == "reference"
