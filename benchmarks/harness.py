@@ -251,6 +251,67 @@ def _bench_quiescence_vectorized(quick: bool):
 
 
 @register_bench(
+    "obs_overhead",
+    "Quiescence load with the obs registry disabled vs fully enabled",
+)
+def _bench_obs_overhead(quick: bool):
+    """Quantify the observability tax on the hottest engine path.
+
+    Runs the quiescence_large_n load twice — registry disabled (the
+    default, and the configuration the 2% budget applies to) and fully
+    enabled with a live timeline sink — and reports both throughputs
+    plus the relative overhead in ``meta``.  The timed value is the
+    *disabled* run, so baseline comparisons keep gating the
+    nobody-asked-for-obs path.
+    """
+    import io
+
+    from repro import obs
+
+    n = 16 if quick else 40
+    scenario = Scenario(
+        name="bench-obs-overhead",
+        algorithm="algorithm2",
+        n_processes=n,
+        seed=1234,
+        loss=LossSpec.bernoulli(0.05),
+        delay=DelaySpec.uniform(0.05, 0.5),
+        workload="burst",
+        metadata={"burst_size": n},
+        stop_when_quiescent=True,
+        drain_grace_period=2.0,
+        max_time=400.0,
+        trace_enabled=False,
+    )
+
+    obs.reset()
+    disabled = _run_engine_scenario(scenario,
+                                    metrics_level=MetricsLevel.COUNTERS)
+    obs.reset()
+    obs.enable()
+    previous = obs.set_timeline(obs.Timeline(io.StringIO()))
+    try:
+        enabled = _run_engine_scenario(scenario,
+                                       metrics_level=MetricsLevel.COUNTERS)
+    finally:
+        obs.set_timeline(previous)
+        obs.reset()
+
+    wall_disabled, events, sends, meta = disabled
+    wall_enabled = enabled[0]
+    meta = dict(meta)
+    meta.update({
+        "disabled_wall_time_s": wall_disabled,
+        "enabled_wall_time_s": wall_enabled,
+        "disabled_events_per_s": events / wall_disabled,
+        "enabled_events_per_s": enabled[1] / wall_enabled,
+        "overhead_pct":
+            (wall_enabled - wall_disabled) / wall_disabled * 100.0,
+    })
+    return wall_disabled, events, sends, meta
+
+
+@register_bench(
     "flood_horizon",
     "Algorithm 1 all-to-all flood to the horizon (never quiescent)",
 )

@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Observability smoke test (the CI `obs` job).
+
+Exercises the obs layer against a *live* distributed campaign, the way an
+operator would watch one:
+
+1. start ``campaign serve --metrics-port`` plus two ``campaign work
+   --metrics-out`` processes on a small sweep;
+2. scrape ``GET /metrics`` from the coordinator **mid-run**, parse it as
+   Prometheus text exposition format v0.0.4 (every sample line must
+   parse, every series must carry ``# HELP``/``# TYPE`` headers,
+   histogram bucket counts must be cumulative) and require the
+   coordinator series (``repro_coordinator_polls_total``,
+   ``repro_lease_cells``, ``repro_lease_ranges``);
+3. after completion, require the worker series
+   (``repro_sim_runs_total``, ``repro_store_puts_total``,
+   ``repro_worker_cells_total``) in the workers' ``--metrics-out``
+   snapshots and run the alert rules (``repro-urb obs check``) over
+   every final snapshot — a reclaim storm or failed cells fails CI.
+
+Exits non-zero with a diagnostic on any violated invariant.  The workdir
+is left behind so CI can upload it as an artifact.
+
+Usage::
+
+    python scripts/obs_smoke.py [--workdir obs-smoke] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from urllib.error import URLError
+from urllib.request import urlopen
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The sweep under test: 3 loss levels x 8 seeds = 24 cells.
+SWEEP_ARGS = [
+    "--algorithm", "algorithm2", "--n", "5", "--values", "0.0,0.1,0.2",
+    "--seeds", "8", "--max-time", "120",
+]
+
+#: Series the coordinator's live scrape must expose mid-run.
+COORDINATOR_SERIES = (
+    "repro_coordinator_polls_total",
+    "repro_lease_cells",
+    "repro_lease_ranges",
+    "repro_lease_workers_active",
+)
+
+#: Series every worker's final snapshot must contain.
+WORKER_SERIES = (
+    "repro_sim_runs_total",
+    "repro_store_puts_total",
+    "repro_worker_cells_total",
+    "repro_worker_cell_seconds",
+)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[0-9eE+.\-]+|\+Inf|-Inf|NaN)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse text exposition format; fails loudly on any malformed line.
+
+    Returns ``{series_base_name: [(labels, value), ...]}`` where
+    ``_bucket``/``_sum``/``_count`` suffixes fold into the histogram's
+    base name.
+    """
+    series: dict[str, list[tuple[dict, float]]] = {}
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            fail(f"/metrics line {line_number} does not parse: {line!r}")
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in typed and name not in typed:
+            fail(f"series {name!r} has no # TYPE header")
+        if base not in helped and name not in helped:
+            fail(f"series {name!r} has no # HELP header")
+        value = float(match.group("value").replace("+Inf", "inf")
+                      .replace("-Inf", "-inf"))
+        series.setdefault(base, []).append((labels, value))
+    # Histogram buckets must be cumulative in ascending ``le`` order.
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = [(labels, value) for labels, value
+                   in series.get(name, [])
+                   if "le" in labels]
+        by_child: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in buckets:
+            child = tuple(sorted((k, v) for k, v in labels.items()
+                                 if k != "le"))
+            bound = float(labels["le"].replace("+Inf", "inf"))
+            by_child.setdefault(child, []).append((bound, value))
+        for child, entries in by_child.items():
+            entries.sort()
+            counts = [count for _, count in entries]
+            if counts != sorted(counts):
+                fail(f"histogram {name!r} child {child} has "
+                     f"non-cumulative buckets: {counts}")
+    return series
+
+
+def scrape(port: int) -> str | None:
+    try:
+        with urlopen(f"http://127.0.0.1:{port}/metrics",
+                     timeout=2.0) as response:
+            content_type = response.headers.get("Content-Type", "")
+            if "version=0.0.4" not in content_type:
+                fail(f"unexpected /metrics Content-Type {content_type!r}")
+            return response.read().decode("utf-8")
+    except (URLError, OSError, ConnectionError):
+        return None
+
+
+def check_snapshot_series(path: Path, required: tuple[str, ...]) -> None:
+    if not path.exists():
+        fail(f"expected snapshot {path} was not written")
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("snapshot_version") != 1:
+        fail(f"{path}: unexpected snapshot_version "
+             f"{data.get('snapshot_version')!r}")
+    missing = [name for name in required
+               if name not in data.get("metrics", {})]
+    if missing:
+        fail(f"{path} is missing required series: {missing} "
+             f"(has: {sorted(data.get('metrics', {}))})")
+
+
+def run_alerts(path: Path) -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "check", str(path)],
+        env=run_env(), capture_output=True, text=True,
+    )
+    print(result.stdout.rstrip())
+    if result.returncode != 0:
+        fail(f"alert rules fired on {path}:\n{result.stdout}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="obs-smoke")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    store = workdir / "store"
+    job = workdir / "job"
+    port = free_port()
+
+    serve_cmd = [
+        sys.executable, "-m", "repro", "campaign", "serve",
+        "--store", str(store), "--workdir", str(job),
+        "--name", "obs-smoke", *SWEEP_ARGS,
+        "--lease-timeout", "30", "--range-size", "4",
+        "--timeout", str(args.timeout),
+        "--metrics-port", str(port),
+        "--metrics-out", str(workdir / "coordinator.json"),
+        "--timeline-out", str(workdir / "coordinator.jsonl"),
+    ]
+    worker_cmds = [
+        [sys.executable, "-m", "repro", "campaign", "work",
+         "--workdir", str(job), "--worker-id", f"smoke-w{index}",
+         "--wait-for-job", "60",
+         "--metrics-out", str(workdir / f"worker{index}.json")]
+        for index in range(args.workers)
+    ]
+
+    env = run_env()
+    serve_log = (workdir / "serve.log").open("w")
+    serve = subprocess.Popen(serve_cmd, env=env, stdout=serve_log,
+                             stderr=subprocess.STDOUT)
+    workers = []
+    for index, command in enumerate(worker_cmds):
+        log = (workdir / f"worker{index}.log").open("w")
+        workers.append((subprocess.Popen(command, env=env, stdout=log,
+                                         stderr=subprocess.STDOUT), log))
+
+    # ---- mid-run: scrape and validate the coordinator's /metrics ----- #
+    deadline = time.monotonic() + args.timeout
+    live_series: dict[str, list] | None = None
+    scrapes = 0
+    try:
+        while serve.poll() is None:
+            if time.monotonic() > deadline:
+                fail("job did not complete within the timeout")
+            body = scrape(port)
+            if body is not None:
+                parsed = parse_prometheus(body)
+                scrapes += 1
+                # Keep the richest scrape seen: early ones may predate
+                # the first status poll.
+                if all(name in parsed for name in COORDINATOR_SERIES):
+                    live_series = parsed
+            time.sleep(0.2)
+    finally:
+        for worker, _log in workers:
+            if worker.poll() is None and serve.poll() is not None \
+                    and serve.returncode != 0:
+                worker.kill()
+
+    if serve.returncode != 0:
+        serve_log.close()
+        fail(f"campaign serve exited {serve.returncode}; log:\n"
+             f"{(workdir / 'serve.log').read_text()}")
+    if scrapes == 0:
+        fail("never managed a successful mid-run /metrics scrape")
+    if live_series is None:
+        fail(f"mid-run scrapes ({scrapes}) never exposed all required "
+             f"coordinator series {COORDINATOR_SERIES}")
+    polls = sum(value for _labels, value
+                in live_series["repro_coordinator_polls_total"])
+    if polls <= 0:
+        fail("repro_coordinator_polls_total never incremented")
+    print(f"mid-run scrape ok after {scrapes} scrape(s): "
+          f"{len(live_series)} series, {polls:.0f} status polls seen")
+
+    for worker, log in workers:
+        code = worker.wait(timeout=60)
+        log.close()
+        if code != 0:
+            index = workers.index((worker, log))
+            fail(f"worker {index} exited {code}; log:\n"
+                 f"{(workdir / f'worker{index}.log').read_text()}")
+    serve_log.close()
+
+    # ---- post-run: snapshots, required series, alert rules ----------- #
+    check_snapshot_series(workdir / "coordinator.json", (
+        "repro_coordinator_polls_total",
+        "repro_coordinator_merged_cells_total",
+        "repro_lease_cells",
+    ))
+    for index in range(args.workers):
+        check_snapshot_series(workdir / f"worker{index}.json",
+                              WORKER_SERIES)
+    timeline = workdir / "coordinator.jsonl"
+    if not timeline.exists():
+        fail("coordinator timeline was not written")
+    kinds = {json.loads(line)["kind"]
+             for line in timeline.read_text().splitlines()}
+    if "phase" not in kinds:
+        fail(f"coordinator timeline has no phase events (kinds: {kinds})")
+
+    for path in sorted(workdir.glob("*.json")):
+        run_alerts(path)
+
+    print("obs smoke ok: live scrape validated, worker snapshots "
+          "complete, no alert rules firing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

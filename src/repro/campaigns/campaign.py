@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from .. import obs
 from ..experiments.batch import (
     BatchFailure,
     BatchRunner,
@@ -150,40 +151,44 @@ class Campaign:
         changing scenarios (the hash cannot see code).
         """
         started = time.perf_counter()
-        keys = self.cell_keys()
-        self.store.register_campaign(
-            self.name,
-            self.suite_name,
-            [(item.index, item.group, key)
-             for item, key in zip(self.items, keys)],
-            resume=resume or recompute,
-        )
+        with obs.phase("expand", campaign=self.name,
+                       cells=len(self.items)):
+            keys = self.cell_keys()
+            self.store.register_campaign(
+                self.name,
+                self.suite_name,
+                [(item.index, item.group, key)
+                 for item, key in zip(self.items, keys)],
+                resume=resume or recompute,
+            )
 
-        pending: list[SuiteItem] = []
-        pending_keys: dict[int, str] = {}
-        seen: set[str] = set()
-        cached = 0
-        duplicates = 0
-        for item, key in zip(self.items, keys):
-            # Duplicate positions are classified first so the counters are
-            # stable across runs: a cell scheduled twice is always 1
-            # cached-or-executed + 1 duplicate, whether or not it was
-            # already stored.
-            if key in seen:
-                duplicates += 1
-                continue
-            seen.add(key)
-            if not recompute and self.store.contains(key):
-                cached += 1
-                continue
-            pending.append(item)
-            pending_keys[item.index] = key
+            pending: list[SuiteItem] = []
+            pending_keys: dict[int, str] = {}
+            seen: set[str] = set()
+            cached = 0
+            duplicates = 0
+            for item, key in zip(self.items, keys):
+                # Duplicate positions are classified first so the counters
+                # are stable across runs: a cell scheduled twice is always
+                # 1 cached-or-executed + 1 duplicate, whether or not it was
+                # already stored.
+                if key in seen:
+                    duplicates += 1
+                    continue
+                seen.add(key)
+                if not recompute and self.store.contains(key):
+                    cached += 1
+                    continue
+                pending.append(item)
+                pending_keys[item.index] = key
 
         failures: list[BatchFailure] = []
         done = 0
 
         def persist(item: SuiteItem, result: ScenarioResult) -> None:
-            self.store.put(result, cell_key=pending_keys[item.index])
+            with obs.phase("persist", campaign=self.name,
+                           cell_key=pending_keys[item.index]):
+                self.store.put(result, cell_key=pending_keys[item.index])
 
         for shard_start in range(0, len(pending), self.shard_size):
             shard = pending[shard_start:shard_start + self.shard_size]
@@ -200,7 +205,9 @@ class Campaign:
                 on_result=persist,
                 worker_plugins=self.worker_plugins,
             )
-            outcome = runner.run(shard)
+            with obs.phase("execute", campaign=self.name,
+                           shard_start=shard_start, cells=len(shard)):
+                outcome = runner.run(shard)
             done += len(shard)
             for failure in outcome.failures:
                 # Batch positions are shard-relative; report suite positions.
@@ -212,6 +219,14 @@ class Campaign:
                     details=failure.details,
                 ))
 
+        if obs.enabled():
+            cells = obs.counter("repro_campaign_cells_total",
+                                "Campaign cells by classification.",
+                                ("outcome",))
+            cells.inc(cached, outcome="cached")
+            cells.inc(len(pending) - len(failures), outcome="executed")
+            cells.inc(duplicates, outcome="duplicate")
+            cells.inc(len(failures), outcome="failed")
         return CampaignReport(
             name=self.name,
             store_root=self.store.root,

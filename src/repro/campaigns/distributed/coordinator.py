@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from ... import obs
 from ...experiments.batch import ScenarioSuite, SuiteItem, normalise_suite
 from ...experiments.config import Scenario
 from ..hashing import canonical_scenario_dict, scenario_cell_key
@@ -105,18 +106,19 @@ class Coordinator:
 
     def prepare(self) -> None:
         """Write the lease table (idempotent on an identical manifest)."""
-        with LeaseTable(self.workdir, create=True) as table:
-            table.initialise(
-                name=self.name,
-                suite_name=self.suite_name,
-                cells=[
-                    (item.index, item.group, key,
-                     canonical_scenario_dict(item.scenario))
-                    for item, key in zip(self.items, self._keys)
-                ],
-                lease_timeout=self.lease_timeout,
-                range_size=self.range_size,
-            )
+        with obs.phase("shard", job=self.name, cells=len(self.items)):
+            with LeaseTable(self.workdir, create=True) as table:
+                table.initialise(
+                    name=self.name,
+                    suite_name=self.suite_name,
+                    cells=[
+                        (item.index, item.group, key,
+                         canonical_scenario_dict(item.scenario))
+                        for item, key in zip(self.items, self._keys)
+                    ],
+                    lease_timeout=self.lease_timeout,
+                    range_size=self.range_size,
+                )
 
     def wait(
         self,
@@ -135,6 +137,7 @@ class Coordinator:
         with LeaseTable(self.workdir) as table:
             while True:
                 status = table.status()
+                self._record_status(status)
                 if on_status is not None:
                     on_status(status)
                 if status.complete:
@@ -145,6 +148,33 @@ class Coordinator:
                         f"{timeout:.1f}s: {status.describe()}"
                     )
                 time.sleep(poll_interval)
+
+    def _record_status(self, status: JobStatus) -> None:
+        """Mirror one lease-table poll into the metrics registry, so a
+        live scrape of the coordinator shows job progress."""
+        if not obs.enabled():
+            return
+        obs.counter("repro_coordinator_polls_total",
+                    "Lease-table status polls by the coordinator.").inc()
+        cells = obs.gauge("repro_lease_cells",
+                          "Job cells by lease state.", ("state",))
+        cells.set(status.completed_cells, state="completed")
+        cells.set(status.leased_cells, state="leased")
+        cells.set(status.pending_cells, state="pending")
+        ranges = obs.gauge("repro_lease_ranges",
+                           "Job ranges by lease state.", ("state",))
+        ranges.set(status.done_ranges, state="done")
+        ranges.set(status.leased_ranges, state="leased")
+        ranges.set(status.pending_ranges, state="pending")
+        obs.gauge("repro_lease_workers_active",
+                  "Workers seen within one lease timeout.").set(
+            status.active_workers)
+        # The table's reclaim total is authoritative across processes; the
+        # coordinator mirrors it as a gauge (the counter lives in whichever
+        # worker performed the reclaim).
+        obs.gauge("repro_lease_reclaims",
+                  "Lease reclaims recorded in the lease table.").set(
+            status.reclaims)
 
     def finalize(self, store: ResultStore) -> MergeStats:
         """Merge every registered worker store into *store* and register
@@ -157,10 +187,16 @@ class Coordinator:
             worker_roots = table.worker_stores()
         sources = [ResultStore(root, create=False) for root in worker_roots]
         try:
-            stats = merge_stores(store, sources)
+            with obs.phase("merge", job=self.name,
+                           sources=len(sources)):
+                stats = merge_stores(store, sources)
         finally:
             for source in sources:
                 source.close()
+        if obs.enabled():
+            obs.counter("repro_coordinator_merged_cells_total",
+                        "Result rows copied by coordinator merges.").inc(
+                stats.copied)
         resume = store.campaign_info(self.name) is not None
         store.register_campaign(self.name, self.suite_name,
                                 self.manifest_rows(), resume=resume)

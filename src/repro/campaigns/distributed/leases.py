@@ -51,6 +51,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
+from ... import obs
+
 #: Bump when the lease-table layout changes incompatibly.
 LEASE_SCHEMA_VERSION = 1
 
@@ -378,12 +380,12 @@ class LeaseTable:
             # 1. Reclamation: strictly-expired leases return to pending.
             #    A lease whose expiry equals `now` is still honoured — the
             #    heartbeat landed exactly at the timeout.
-            self._db.execute(
+            reclaimed = self._db.execute(
                 "UPDATE ranges SET state = 'pending', worker = NULL, "
                 "lease_expires = NULL, done_cells = 0 "
                 "WHERE state = 'leased' AND lease_expires < ?",
                 (now,),
-            )
+            ).rowcount
             row = self._db.execute(
                 "SELECT * FROM ranges WHERE state = 'pending' "
                 "ORDER BY start LIMIT 1"
@@ -431,6 +433,9 @@ class LeaseTable:
         except BaseException:
             self._db.execute("ROLLBACK")
             raise
+        self._record_claim(worker, reclaimed,
+                           range_id=int(row["range_id"]),
+                           start=int(row["start"]), count=granted)
         cells = tuple(
             JobCell(
                 position=cell["position"],
@@ -453,6 +458,23 @@ class LeaseTable:
             lease_expires=expires,
             cells=cells,
         )
+
+    def _record_claim(self, worker: str, reclaimed: int, *, range_id: int,
+                      start: int, count: int) -> None:
+        """Registry + timeline effects of one successful claim."""
+        if obs.enabled():
+            obs.counter("repro_lease_claims_total",
+                        "Range leases granted to workers.").inc()
+            if reclaimed:
+                obs.counter(
+                    "repro_lease_reclaims_total",
+                    "Expired leases reclaimed back to pending.",
+                ).inc(reclaimed)
+        if obs.timeline_active():
+            if reclaimed:
+                obs.emit("lease.reclaim", worker=worker, reclaimed=reclaimed)
+            obs.emit("lease.claim", worker=worker, range_id=range_id,
+                     start=start, count=count)
 
     def _guarded_update(self, sql: str, params: Sequence[Any]) -> bool:
         self._db.execute("BEGIN IMMEDIATE")
@@ -481,6 +503,14 @@ class LeaseTable:
                 "UPDATE workers SET last_seen = ? WHERE worker = ?",
                 (now, grant.worker),
             )
+        if obs.enabled():
+            obs.counter("repro_lease_renewals_total",
+                        "Lease heartbeats, by outcome.",
+                        ("outcome",)).inc(
+                outcome="renewed" if renewed else "lost")
+        if obs.timeline_active():
+            obs.emit("lease.renew", worker=grant.worker,
+                     range_id=grant.range_id, renewed=renewed)
         return renewed
 
     def record_cell_done(self, grant: RangeGrant, *,

@@ -22,10 +22,24 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from ... import obs
 from ...experiments.runner import run_scenario
 from ..hashing import scenario_from_canonical_dict
 from ..store import ResultStore
 from .leases import LeaseError, LeaseTable, RangeGrant, default_worker_id
+
+
+def _cells_total() -> "obs.Counter":
+    return obs.counter("repro_worker_cells_total",
+                       "Cells processed by distributed workers, by outcome.",
+                       ("outcome",))
+
+
+def _cell_seconds() -> "obs.Histogram":
+    # The same per-cell wall-time data `plan_campaign` estimates from:
+    # stores persist wall_time per cell; this is its live histogram form.
+    return obs.histogram("repro_worker_cell_seconds",
+                         "Wall-clock seconds per executed worker cell.")
 
 #: Called after every processed cell: ``(worker_id, done_in_this_worker)``.
 WorkerProgress = Callable[[str, int], None]
@@ -160,6 +174,8 @@ class Worker:
                 # Cached from an earlier lease of this worker (or a shared
                 # store) — report progress without re-simulating.
                 report.cells_cached += 1
+                if obs.enabled():
+                    _cells_total().inc(outcome="cached")
             else:
                 try:
                     scenario = scenario_from_canonical_dict(cell.scenario)
@@ -168,6 +184,8 @@ class Worker:
                     report.errors.append(
                         f"cell {cell.position} ({cell.group}): {exc!r}"
                     )
+                    if obs.enabled():
+                        _cells_total().inc(outcome="error")
                     # The cell is not persisted; completing the range would
                     # silently drop it, so abandon and let the lease expire
                     # path retry it elsewhere.
@@ -175,6 +193,9 @@ class Worker:
                     return
                 store.put(result, cell_key=cell.cell_key)
                 report.cells_executed += 1
+                if obs.enabled():
+                    _cells_total().inc(outcome="executed")
+                    _cell_seconds().observe(result.wall_time)
             if progress is not None:
                 progress(self.worker_id,
                          report.cells_executed + report.cells_cached)

@@ -33,6 +33,18 @@ Hit accounting
 The store counts ``hits`` (lookups that found a cell), ``misses`` and
 ``puts`` per open handle.  The campaign runner's resume guarantee — *zero
 duplicate simulations* — is asserted straight off these counters.
+
+Beyond the per-handle counters, lifetime totals are persisted in the
+``meta`` table (``stat_hits`` / ``stat_misses`` / ``stat_puts``) so they
+survive handle churn: distributed workers open and close a store handle
+per grant, and before this the totals silently reset every time.  Handle
+deltas are flushed incrementally (piggybacked on ``put`` transactions,
+every :data:`_STAT_FLUSH_EVERY` lookups, and on :meth:`ResultStore.close`)
+as relative ``+= delta`` upserts, so concurrent handles on one store
+never overwrite each other's totals.  The same increments also feed the
+process-wide :mod:`repro.obs` registry (``repro_store_lookups_total``,
+``repro_store_puts_total``, ``repro_store_blob_bytes_total``,
+``repro_store_gc_total``) when observability is enabled.
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
+from .. import obs
 from ..experiments.config import Scenario
 from ..experiments.export import provenance_from_dict, scenario_result_to_dict
 from ..explore.serialize import counterexample_to_dict, scenario_from_dict
@@ -73,6 +86,11 @@ _BUSY_TIMEOUT_MS = 30_000
 
 _INDEX_NAME = "index.sqlite"
 _BLOB_DIR = "blobs"
+
+#: Lookup count between incremental flushes of the lifetime hit/miss
+#: counters into the ``meta`` table.  Puts flush inside their own write
+#: transaction, so at most this many *lookups* can be lost to a SIGKILL.
+_STAT_FLUSH_EVERY = 64
 
 
 class StoreError(RuntimeError):
@@ -238,6 +256,11 @@ class ResultStore:
         self.misses = 0
         #: Results written through this handle.
         self.puts = 0
+        # Portions of the handle counters already flushed to the meta
+        # table; lifetime totals survive handle churn via += upserts.
+        self._stat_flushed = {"hits": 0, "misses": 0, "puts": 0}
+        self._stat_unflushed = 0
+        self._obs_store_label = self.root.name or str(self.root)
         try:
             self._init_schema()
         except BaseException:
@@ -361,8 +384,84 @@ class ResultStore:
             )
 
     def close(self) -> None:
-        """Close the underlying SQLite handle."""
+        """Flush lifetime counters and close the SQLite handle."""
+        try:
+            with self._db:
+                self._flush_stats_locked()
+        except sqlite3.Error:
+            # A close must never fail on accounting; worst case the
+            # unflushed tail of the lifetime counters is lost.
+            pass
         self._db.close()
+
+    # ------------------------------------------------------------------ #
+    # lifetime hit accounting (survives handle churn)
+    # ------------------------------------------------------------------ #
+    def _flush_stats_locked(self) -> None:
+        """Upsert the unflushed handle deltas into ``meta`` (``+=``, not
+        overwrite — concurrent handles both land their increments).
+        Callers hold a transaction (``with self._db``)."""
+        for key, current in (("hits", self.hits), ("misses", self.misses),
+                             ("puts", self.puts)):
+            delta = current - self._stat_flushed[key]
+            if delta:
+                self._db.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value = "
+                    "CAST(value AS INTEGER) + excluded.value",
+                    (f"stat_{key}", str(delta)),
+                )
+                self._stat_flushed[key] = current
+        self._stat_unflushed = 0
+
+    def flush_stats(self) -> None:
+        """Persist the handle's lookup/put counters into the store now."""
+        with self._db:
+            self._flush_stats_locked()
+
+    def _persisted_stat(self, key: str) -> int:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (f"stat_{key}",)
+        ).fetchone()
+        return int(row["value"]) if row is not None else 0
+
+    def _lifetime(self, key: str, current: int) -> int:
+        return self._persisted_stat(key) + (current - self._stat_flushed[key])
+
+    @property
+    def lifetime_hits(self) -> int:
+        """Hits over the store's whole life (all handles, ever)."""
+        return self._lifetime("hits", self.hits)
+
+    @property
+    def lifetime_misses(self) -> int:
+        """Misses over the store's whole life (all handles, ever)."""
+        return self._lifetime("misses", self.misses)
+
+    @property
+    def lifetime_puts(self) -> int:
+        """Puts over the store's whole life (all handles, ever)."""
+        return self._lifetime("puts", self.puts)
+
+    def _count_lookup(self, found: bool) -> None:
+        """One hit/miss: handle counters, registry, timeline, lazy flush."""
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if obs.enabled():
+            obs.counter(
+                "repro_store_lookups_total",
+                "Result-store lookups by outcome.",
+                ("store", "result"),
+            ).inc(result="hit" if found else "miss",
+                  store=self._obs_store_label)
+        if obs.timeline_active():
+            obs.emit("store.hit" if found else "store.miss",
+                     store=str(self.root))
+        self._stat_unflushed += 1
+        if self._stat_unflushed >= _STAT_FLUSH_EVERY:
+            self.flush_stats()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -385,6 +484,15 @@ class ResultStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_bytes(data)
         os.replace(tmp, path)
+        self._record_blob_written(len(data))
+
+    def _record_blob_written(self, n_bytes: int) -> None:
+        if obs.enabled():
+            obs.counter(
+                "repro_store_blob_bytes_total",
+                "Compressed blob bytes written to result stores.",
+                ("store",),
+            ).inc(n_bytes, store=self._obs_store_label)
 
     def _read_blob(self, cell_key: str) -> dict[str, Any]:
         path = self._blob_path(cell_key)
@@ -465,10 +573,22 @@ class ResultStore:
                     result.wall_time,
                 ),
             )
-        self.puts += 1
+            self.puts += 1
+            self._flush_stats_locked()
+        self._count_put(key)
         row = self.get(cell_key=key, count=False)
         assert row is not None
         return row
+
+    def _count_put(self, cell_key: str) -> None:
+        if obs.enabled():
+            obs.counter(
+                "repro_store_puts_total",
+                "Results written to result stores.",
+                ("store",),
+            ).inc(store=self._obs_store_label)
+        if obs.timeline_active():
+            obs.emit("store.put", store=str(self.root), cell_key=cell_key)
 
     def contains(self, cell_key: str, *, count: bool = True) -> bool:
         """Whether a result for *cell_key* is stored (counts hit/miss)."""
@@ -476,10 +596,7 @@ class ResultStore:
             "SELECT 1 FROM results WHERE cell_key = ?", (cell_key,)
         ).fetchone() is not None
         if count:
-            if found:
-                self.hits += 1
-            else:
-                self.misses += 1
+            self._count_lookup(found)
         return found
 
     def __contains__(self, cell_key: object) -> bool:
@@ -492,10 +609,7 @@ class ResultStore:
             "SELECT * FROM results WHERE cell_key = ?", (cell_key,)
         ).fetchone()
         if count:
-            if row is not None:
-                self.hits += 1
-            else:
-                self.misses += 1
+            self._count_lookup(row is not None)
         return None if row is None else self._row_to_stored(row)
 
     def load(self, cell_key: str) -> dict[str, Any]:
@@ -787,6 +901,7 @@ class ResultStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_bytes(blob)
         os.replace(tmp, path)
+        self._record_blob_written(len(blob))
         columns = list(row)
         with self._db:
             self._db.execute(
@@ -794,7 +909,9 @@ class ResultStore:
                 f"VALUES ({', '.join('?' for _ in columns)})",
                 [row[column] for column in columns],
             )
-        self.puts += 1
+            self.puts += 1
+            self._flush_stats_locked()
+        self._count_put(key)
 
     def raw_artifact_rows(self) -> list[dict[str, Any]]:
         """Every counterexample artifact row as a plain mapping (payload
@@ -973,5 +1090,23 @@ class ResultStore:
                     [(key,) for key in missing],
                 )
         self._db.execute("VACUUM")
-        return GcStats(orphan_blobs=orphans, missing_blobs=len(missing),
-                       dropped_results=dropped_results)
+        stats = GcStats(orphan_blobs=orphans, missing_blobs=len(missing),
+                        dropped_results=dropped_results)
+        if obs.enabled():
+            gc_counter = obs.counter(
+                "repro_store_gc_total",
+                "Result-store gc actions by kind.",
+                ("store", "kind"),
+            )
+            gc_counter.inc(stats.orphan_blobs, kind="orphan_blobs",
+                           store=self._obs_store_label)
+            gc_counter.inc(stats.missing_blobs, kind="missing_blobs",
+                           store=self._obs_store_label)
+            gc_counter.inc(stats.dropped_results, kind="dropped_results",
+                           store=self._obs_store_label)
+        if obs.timeline_active():
+            obs.emit("store.gc", store=str(self.root),
+                     orphan_blobs=stats.orphan_blobs,
+                     missing_blobs=stats.missing_blobs,
+                     dropped_results=stats.dropped_results)
+        return stats

@@ -40,6 +40,16 @@ Sub-commands
 ``store merge --into DEST SRC [SRC ...]``
     Idempotent union of result stores by cell hash; semantically conflicting
     cells (a determinism bug) abort the merge loudly.
+``obs snapshot/check``
+    Observability (see :mod:`repro.obs`): render a metrics snapshot taken
+    from a live ``--metrics-port`` server or a ``--metrics-out`` file, and
+    evaluate threshold alert rules against one for CI gating.
+
+Observability flags (``--metrics-port PORT``, ``--metrics-out FILE``,
+``--timeline-out FILE``) are accepted by the executing verbs — ``demo``,
+``sweep``, ``explore``, ``campaign run/serve/work`` — and are strictly
+opt-in: without them the metrics registry stays disabled and runs are
+bit-identical to an uninstrumented build.
 
 The ``--algorithm`` choices everywhere come from the live algorithm registry,
 so protocols registered by plugin modules (imported via ``--plugin``) are
@@ -50,10 +60,13 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Iterator, Optional, Sequence, Union
 
+from . import obs
 from .analysis.tables import render_table
 from .experiments import registry as experiment_registry
 from .experiments.batch import ScenarioSuite, SuiteResult
@@ -97,6 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--plugin", action="append", default=[], metavar="MODULE",
         help=argparse.SUPPRESS,
     )
+    # Observability opt-ins shared by every executing verb.  All three
+    # default to None == "leave the registry disabled" — the tier-1 parity
+    # guarantee is that omitting them costs (nearly) nothing.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_parent.add_argument_group("observability")
+    obs_group.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="enable metrics and serve /metrics, /healthz and /snapshot on "
+             "127.0.0.1:PORT for the duration of the run (0 picks an "
+             "ephemeral port, reported on stderr)")
+    obs_group.add_argument(
+        "--metrics-out", type=str, default=None, metavar="FILE",
+        help="enable metrics and write the final JSON snapshot to FILE "
+             "when the command exits")
+    obs_group.add_argument(
+        "--timeline-out", type=str, default=None, metavar="FILE",
+        help="append structured JSON-lines run events (phases, leases, "
+             "store traffic) to FILE")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the registered experiments",
@@ -118,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the rendered report to this file")
 
     demo_parser = subparsers.add_parser("demo", help="run a single scenario",
-                                        parents=[plugin_parent])
+                                        parents=[plugin_parent, obs_parent])
     demo_parser.add_argument("--algorithm", choices=algorithm_names(),
                              default="algorithm2")
     demo_parser.add_argument("--n", type=int, default=5, help="number of processes")
@@ -135,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep one scenario field through the batch runner",
-        parents=[plugin_parent])
+        parents=[plugin_parent, obs_parent])
     sweep_parser.add_argument("--algorithm", choices=algorithm_names(),
                               default="algorithm2")
     sweep_parser.add_argument("--field", default="loss",
@@ -165,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore_parser = subparsers.add_parser(
         "explore",
         help="search the schedule space for URB property violations",
-        parents=[plugin_parent])
+        parents=[plugin_parent, obs_parent])
     explore_parser.add_argument("--algorithm", choices=algorithm_names(),
                                 default="algorithm1")
     explore_parser.add_argument("--strategy", choices=strategy_names(),
@@ -255,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     crun = campaign_sub.add_parser(
         "run", help="run (or resume) a sweep campaign against the store",
-        parents=[plugin_parent])
+        parents=[plugin_parent, obs_parent])
     store_argument(crun)
     crun.add_argument("--name", default=None,
                       help="campaign name (default: derived from the sweep)")
@@ -349,7 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="coordinate a distributed campaign: write the lease table, "
              "wait for workers, merge their stores",
-        parents=[plugin_parent])
+        parents=[plugin_parent, obs_parent])
     store_argument(cserve)
     cserve.add_argument("--workdir", required=True, metavar="DIR",
                         help="job directory shared with the workers (holds "
@@ -374,7 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     cwork = campaign_sub.add_parser(
         "work",
         help="run one lease-driven worker against a distributed job",
-        parents=[plugin_parent])
+        parents=[plugin_parent, obs_parent])
     cwork.add_argument("--workdir", required=True, metavar="DIR",
                        help="job directory written by 'campaign serve'")
     cwork.add_argument("--store-root", default=None, metavar="DIR",
@@ -415,7 +446,147 @@ def build_parser() -> argparse.ArgumentParser:
                         help="destination store (created if missing)")
     smerge.add_argument("sources", nargs="+", metavar="SRC",
                         help="source store directories")
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="observability: render metrics snapshots, evaluate alert rules",
+        parents=[plugin_parent])
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    osnap = obs_sub.add_parser(
+        "snapshot",
+        help="render a metrics snapshot from a live run or a file",
+        parents=[plugin_parent])
+    osnap_source = osnap.add_mutually_exclusive_group(required=True)
+    osnap_source.add_argument(
+        "--url", default=None,
+        help="base URL of a live --metrics-port server, e.g. "
+             "http://127.0.0.1:9300 (its /snapshot route is fetched)")
+    osnap_source.add_argument(
+        "--file", default=None,
+        help="JSON snapshot file written by --metrics-out")
+    osnap.add_argument("--raw", action="store_true",
+                       help="print the raw JSON instead of rendered tables")
+    ocheck = obs_sub.add_parser(
+        "check",
+        help="evaluate threshold alert rules against a snapshot "
+             "(exit 1 when any rule fires)",
+        parents=[plugin_parent])
+    ocheck.add_argument("snapshot",
+                        help="JSON snapshot file, or a live server base URL "
+                             "when it starts with http:// or https://")
+    ocheck.add_argument("--rules", default=None, metavar="FILE",
+                        help="JSON rules file (default: built-in rules)")
     return parser
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Enable observability for one CLI command when any obs flag is set.
+
+    ``--metrics-port`` serves live scrapes for the duration of the run,
+    ``--metrics-out`` writes the final JSON snapshot when the command
+    exits (on success *and* on failure — a crashed run's partial counters
+    are exactly what the post-mortem wants), and ``--timeline-out``
+    streams structured run events.  Without any of the flags the registry
+    stays disabled and this wrapper is a no-op, preserving the
+    bit-identical baseline.
+    """
+    port = getattr(args, "metrics_port", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    timeline_out = getattr(args, "timeline_out", None)
+    if port is None and metrics_out is None and timeline_out is None:
+        yield
+        return
+    obs.enable()
+    timeline = previous = server = None
+    if timeline_out is not None:
+        timeline = obs.Timeline(timeline_out)
+        previous = obs.set_timeline(timeline)
+    if port is not None:
+        server = obs.start_server(port=port)
+        print(f"obs: serving http://{server.host}:{server.port}/metrics",
+              file=sys.stderr)
+    try:
+        yield
+    finally:
+        if server is not None:
+            server.shutdown()
+        if timeline is not None:
+            obs.set_timeline(previous)
+            timeline.close()
+        if metrics_out is not None:
+            output = Path(metrics_out)
+            output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(obs.render_json() + "\n", encoding="utf-8")
+            print(f"obs: metrics snapshot written to {output}",
+                  file=sys.stderr)
+
+
+def _load_snapshot(source: str) -> dict[str, Any]:
+    """Load a snapshot from a ``--metrics-out`` file or a live server."""
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        url = source.rstrip("/")
+        if not url.endswith("/snapshot"):
+            url += "/snapshot"
+        with urlopen(url, timeout=10.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    return json.loads(Path(source).read_text(encoding="utf-8"))
+
+
+def _obs_snapshot(args: argparse.Namespace) -> int:
+    source = args.url if args.url is not None else args.file
+    try:
+        data = _load_snapshot(source)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load snapshot from {source!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.raw:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name, metric in sorted(data.get("metrics", {}).items()):
+        for sample in metric.get("samples", ()):
+            labels = ",".join(f"{key}={value}" for key, value
+                              in sorted(sample.get("labels", {}).items()))
+            if metric.get("type") == "histogram":
+                count = sample.get("count", 0)
+                mean = sample.get("sum", 0.0) / count if count else 0.0
+                shown = f"count={count} mean={mean:.4g}"
+            else:
+                shown = sample.get("value")
+            rows.append([name, metric.get("type", "?"), labels, shown])
+    if not rows:
+        print("(snapshot contains no metrics — was the run started with "
+              "--metrics-port or --metrics-out?)")
+        return 0
+    print(render_table(["metric", "type", "labels", "value"], rows,
+                       title=f"Metrics snapshot ({source})"))
+    return 0
+
+
+def _obs_check(args: argparse.Namespace) -> int:
+    try:
+        data = _load_snapshot(args.snapshot)
+        rules = obs.load_rules(args.rules) if args.rules else None
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = obs.evaluate(data, rules)
+    print(report.describe())
+    return report.exit_code
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "snapshot":
+        return _obs_snapshot(args)
+    if args.obs_command == "check":
+        return _obs_check(args)
+    print(f"error: unknown obs command {args.obs_command!r}",
+          file=sys.stderr)  # pragma: no cover - argparse enforces
+    return 2  # pragma: no cover
 
 
 def _command_list() -> int:
@@ -796,9 +967,10 @@ def _store_mean_wall_time(store: "ResultStore") -> Optional[float]:
     return sum(timings) / len(timings) if timings else None
 
 
-def _lease_status_line(workdir: str, store: "ResultStore") -> tuple[str, bool]:
+def _lease_status_line(workdir: str,
+                       store: "ResultStore") -> tuple[str, bool, int]:
     """One distributed-job progress line (with ETA when timings exist),
-    plus whether the job is complete."""
+    plus whether the job is complete and its completed-cell count."""
     from .campaigns import LeaseTable
 
     with LeaseTable(workdir) as table:
@@ -809,22 +981,26 @@ def _lease_status_line(workdir: str, store: "ResultStore") -> tuple[str, bool]:
     if not status.complete and remaining > 0 and mean is not None:
         eta = remaining * mean / max(status.active_workers, 1)
         line += f", eta ~{eta:.0f}s"
-    return line, status.complete
+    return line, status.complete, status.completed_cells
 
 
-def _campaign_status_once(store: "ResultStore",
-                          args: argparse.Namespace) -> tuple[int, bool]:
-    """Print the status once; returns ``(exit_code, everything_complete)``."""
+def _campaign_status_once(
+        store: "ResultStore",
+        args: argparse.Namespace) -> tuple[int, bool, int]:
+    """Print the status once; returns ``(exit_code, everything_complete,
+    done_cells)`` — the cell count feeds the ``--watch`` rate line."""
     complete = True
+    done_cells = 0
     if args.name is None:
         print(_render_campaign_status(store))
         complete = all(info.complete for info in store.campaigns())
+        done_cells = sum(info.done for info in store.campaigns())
     else:
         info = store.campaign_info(args.name)
         if info is None:
             print(f"error: unknown campaign {args.name!r} in {store.root}",
                   file=sys.stderr)
-            return 2, True
+            return 2, True, 0
         print(f"campaign {info.name!r} (suite {info.suite_name!r}): "
               f"{info.done}/{info.total} cells computed"
               f"{' — complete' if info.complete else ''}")
@@ -838,24 +1014,38 @@ def _campaign_status_once(store: "ResultStore",
                 for group, (done, total) in groups.items()]
         print(render_table(["configuration", "done"], rows))
         complete = info.complete
+        done_cells = info.done
     if args.workdir is not None:
         from .campaigns import LeaseError
 
         try:
-            line, job_complete = _lease_status_line(args.workdir, store)
+            line, job_complete, job_done = _lease_status_line(args.workdir,
+                                                              store)
         except LeaseError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2, True
+            return 2, True, 0
         print(line)
         complete = complete and job_complete
-    return 0, complete
+        # During a distributed run the destination store stays empty until
+        # the merge, so the lease table carries the live progress.
+        done_cells = max(done_cells, job_done)
+    return 0, complete, done_cells
 
 
 def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
     import time as time_module
 
+    previous: Optional[tuple[float, int]] = None
     while True:
-        code, complete = _campaign_status_once(store, args)
+        now = time_module.monotonic()
+        code, complete, done = _campaign_status_once(store, args)
+        if args.watch and previous is not None:
+            elapsed = now - previous[0]
+            delta = done - previous[1]
+            if elapsed > 0:
+                print(f"rate: {delta / elapsed:.2f} cells/s "
+                      f"(+{delta} cell(s) in {elapsed:.1f}s)")
+        previous = (now, done)
         if not args.watch or code != 0 or complete:
             return code
         time_module.sleep(args.interval)
@@ -1112,18 +1302,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_components()
     if args.command == "run":
         return _command_run(args)
-    if args.command == "demo":
-        return _command_demo(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "explore":
-        return _command_explore(args)
-    if args.command == "replay":
-        return _command_replay(args)
-    if args.command == "campaign":
-        return _command_campaign(args)
-    if args.command == "store":
-        return _command_store(args)
+    handlers = {
+        "demo": _command_demo,
+        "sweep": _command_sweep,
+        "explore": _command_explore,
+        "replay": _command_replay,
+        "campaign": _command_campaign,
+        "store": _command_store,
+        "obs": _command_obs,
+    }
+    handler = handlers.get(args.command)
+    if handler is not None:
+        # _obs_session is a no-op unless the verb carries an obs flag.
+        with _obs_session(args):
+            return handler(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -40,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
+from .. import obs
 from ..analysis.stats import SummaryStats, summarize
 from .config import Scenario
 from .runner import ScenarioResult, run_scenario
@@ -335,6 +336,21 @@ def _import_worker_plugins(plugins: Sequence[str]) -> None:
         importlib.import_module(module_name)
 
 
+def _cells_total() -> "obs.Counter":
+    return obs.counter("repro_batch_cells_total",
+                       "Batch cells recorded, by outcome.", ("status",))
+
+
+def _cell_seconds() -> "obs.Histogram":
+    return obs.histogram("repro_batch_cell_seconds",
+                         "Wall-clock seconds per completed batch cell.")
+
+
+def _in_flight() -> "obs.Gauge":
+    return obs.gauge("repro_batch_in_flight",
+                     "Batch cells submitted and not yet recorded.")
+
+
 def _execute_item(
     position: int, item: SuiteItem,
 ) -> tuple[int, Optional[ScenarioResult], Optional[str], str]:
@@ -441,6 +457,14 @@ class BatchRunner:
                 position: int, result: Optional[ScenarioResult],
                 error: Optional[str], details: str) -> None:
         outcomes[position] = result
+        if obs.enabled():
+            # Recording always happens in the calling process (inline and
+            # pool paths both), so these series aggregate the whole batch
+            # regardless of where the simulation itself ran.
+            _cells_total().inc(status="failed" if error is not None
+                               else "ok")
+            if result is not None:
+                _cell_seconds().observe(result.wall_time)
         if error is not None:
             item = items[position]
             failures.append(BatchFailure(
@@ -457,14 +481,21 @@ class BatchRunner:
         outcomes: list[Optional[ScenarioResult]] = [None] * len(items)
         failures: list[BatchFailure] = []
         for position, item in enumerate(items):
-            if self.fail_fast:
-                # No isolation: the original exception (type, traceback)
-                # propagates to the caller unmodified.
-                result, error, details = run_scenario(item.scenario), None, ""
-            else:
-                _, result, error, details = _execute_item(position, item)
-            self._record(outcomes, failures, items, position, result,
-                         error, details)
+            if obs.enabled():
+                _in_flight().inc()
+            try:
+                if self.fail_fast:
+                    # No isolation: the original exception (type, traceback)
+                    # propagates to the caller unmodified.
+                    result, error, details = (run_scenario(item.scenario),
+                                              None, "")
+                else:
+                    _, result, error, details = _execute_item(position, item)
+                self._record(outcomes, failures, items, position, result,
+                             error, details)
+            finally:
+                if obs.enabled():
+                    _in_flight().dec()
             if self.progress is not None:
                 self.progress(position + 1, len(items), item)
         return outcomes, failures
@@ -484,22 +515,32 @@ class BatchRunner:
                 for position, item in enumerate(items)
             }
             done = 0
-            for future in as_completed(pending):
-                position, item = pending[future]
-                try:
-                    position, result, error, details = future.result()
-                except Exception as exc:  # worker died (e.g. BrokenProcessPool)
-                    result = None
-                    error, details = repr(exc), traceback.format_exc()
-                self._record(outcomes, failures, items, position, result,
-                             error, details)
-                if failures and self.fail_fast:
-                    for other in pending:
-                        other.cancel()
-                    raise BatchExecutionError(sorted(failures,
-                                                     key=lambda f: f.index))
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, len(items), item)
+            if obs.enabled():
+                _in_flight().inc(len(pending))
+            try:
+                for future in as_completed(pending):
+                    position, item = pending[future]
+                    try:
+                        position, result, error, details = future.result()
+                    except Exception as exc:  # worker died (BrokenProcessPool)
+                        result = None
+                        error, details = repr(exc), traceback.format_exc()
+                    self._record(outcomes, failures, items, position, result,
+                                 error, details)
+                    done += 1
+                    if obs.enabled():
+                        _in_flight().dec()
+                    if failures and self.fail_fast:
+                        for other in pending:
+                            other.cancel()
+                        raise BatchExecutionError(sorted(failures,
+                                                         key=lambda f: f.index))
+                    if self.progress is not None:
+                        self.progress(done, len(items), item)
+            finally:
+                # Cancelled / never-completed submissions (fail_fast, a
+                # crashed pool) must not leave the gauge dangling.
+                if obs.enabled():
+                    _in_flight().dec(len(pending) - done)
         failures.sort(key=lambda f: f.index)
         return outcomes, failures

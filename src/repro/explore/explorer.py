@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from .. import obs
 from ..analysis.properties import (
     UrbVerdict,
     check_urb_properties,
@@ -286,7 +287,7 @@ class Explorer:
             for counterexample in counterexamples:
                 self.store.put_counterexample(counterexample)
 
-        return ExplorationReport(
+        report = ExplorationReport(
             scenario=self.scenario,
             strategy=self.strategy,
             budget=total,
@@ -300,6 +301,37 @@ class Explorer:
             parallel=self.parallel,
             shrink_replays=shrink_replays,
         )
+        self._record_obs(report)
+        return report
+
+    def _record_obs(self, report: ExplorationReport) -> None:
+        """Mirror one exploration into the obs registry and timeline."""
+        if obs.enabled():
+            schedules = obs.counter("repro_explore_schedules_total",
+                                    "Explored schedules by uniqueness.",
+                                    ("kind",))
+            schedules.inc(report.unique_schedules, kind="unique")
+            schedules.inc(report.duplicate_schedules, kind="duplicate")
+            violations = obs.counter("repro_explore_violations_total",
+                                     "Property violations found while "
+                                     "exploring.", ("property",))
+            for name, count in sorted(report.property_violations.items()):
+                violations.inc(count, property=name)
+            obs.gauge("repro_explore_schedules_per_sec",
+                      "Throughput of the last exploration.").set(
+                report.schedules_per_sec)
+            obs.gauge("repro_explore_dedup_ratio",
+                      "Unique/run ratio of the last exploration.").set(
+                report.unique_schedules / report.schedules_run
+                if report.schedules_run else 1.0)
+        if obs.timeline_active():
+            obs.emit("explore.report", strategy=report.strategy,
+                     schedules_run=report.schedules_run,
+                     unique=report.unique_schedules,
+                     duplicates=report.duplicate_schedules,
+                     violations=sum(report.property_violations.values()),
+                     counterexamples=len(report.counterexamples),
+                     elapsed_seconds=report.elapsed_seconds)
 
     # ------------------------------------------------------------------ #
     def _shrink(self, counterexample: Counterexample) -> int:

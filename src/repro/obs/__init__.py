@@ -1,0 +1,89 @@
+"""Process-wide observability: metrics registry, timeline, exposition.
+
+This package is the instrumentation layer shared by every subsystem —
+engine backends, batch runners, the result store, distributed workers and
+the explore loop all record into one process-wide
+:class:`~repro.obs.registry.MetricsRegistry`.  It is deliberately
+dependency-free (stdlib only) and **off by default**: every recording
+method checks a module-level enabled flag before doing any work, so the
+disabled cost at an instrumentation site is one function call and one
+attribute read.  Instrumented hot paths additionally guard with
+:func:`enabled` *before* computing label values, keeping the disabled
+path within the repo's 2% overhead budget (see the ``obs_overhead``
+benchmark) and leaving the bit-identical determinism invariant untouched
+— no instrument ever reads or advances simulation RNG state.
+
+Components
+----------
+:mod:`~repro.obs.registry`
+    Named ``Counter`` / ``Gauge`` / ``Histogram`` instruments with label
+    support, atomic under threads.
+:mod:`~repro.obs.exposition`
+    Prometheus text format v0.0.4 and a key-sorted JSON snapshot.
+:mod:`~repro.obs.timeline`
+    Structured JSON-lines run events: phase spans with wall/CPU time,
+    dispatch-mode transitions, lease and store activity.
+:mod:`~repro.obs.httpd`
+    A stdlib ``ThreadingHTTPServer`` serving ``/metrics``, ``/healthz``
+    and ``/snapshot`` (CLI opt-in via ``--metrics-port``).
+:mod:`~repro.obs.alerts`
+    Declarative threshold rules evaluated against a snapshot into
+    exit-code-carrying reports for CI.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    reset,
+)
+from .exposition import render_json, render_prometheus, snapshot
+from .timeline import (
+    Timeline,
+    emit,
+    get_timeline,
+    phase,
+    set_timeline,
+    timeline_active,
+)
+from .httpd import ObsServer, start_server
+from .alerts import AlertReport, AlertRule, default_rules, evaluate, load_rules
+
+__all__ = [
+    "AlertReport",
+    "AlertRule",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsServer",
+    "REGISTRY",
+    "Timeline",
+    "counter",
+    "default_rules",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "evaluate",
+    "gauge",
+    "get_timeline",
+    "histogram",
+    "load_rules",
+    "phase",
+    "render_json",
+    "render_prometheus",
+    "reset",
+    "set_timeline",
+    "snapshot",
+    "start_server",
+    "timeline_active",
+]

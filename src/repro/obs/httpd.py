@@ -1,0 +1,115 @@
+"""Live introspection endpoint: a stdlib HTTP server for scrapes.
+
+:class:`ObsServer` wraps ``http.server.ThreadingHTTPServer`` and serves
+three read-only routes off the process-wide registry:
+
+* ``GET /metrics`` — Prometheus text exposition format v0.0.4;
+* ``GET /healthz`` — liveness JSON (``status``, ``uptime_seconds``);
+* ``GET /snapshot`` — the key-sorted JSON snapshot.
+
+Opt-in via ``--metrics-port`` on the CLI verbs (port ``0`` binds an
+ephemeral port; the bound port is reported via :attr:`ObsServer.port`).
+The server runs on a daemon thread, so a crashing run never hangs on
+shutdown, and request logging is silenced — scrapes happen every few
+seconds and would drown real output.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .exposition import CONTENT_TYPE_PROMETHEUS, render_json, render_prometheus
+from .registry import MetricsRegistry, REGISTRY
+
+__all__ = ["ObsServer", "start_server"]
+
+
+class ObsServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/snapshot`` off a registry."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        self.started_unix = time.time()
+        obs_server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: object) -> None:
+                pass
+
+            def _respond(self, status: int, content_type: str,
+                         body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                route = self.path.split("?", 1)[0]
+                if route == "/metrics":
+                    self._respond(200, CONTENT_TYPE_PROMETHEUS,
+                                  render_prometheus(obs_server.registry))
+                elif route == "/healthz":
+                    body = json.dumps({
+                        "status": "ok",
+                        "uptime_seconds":
+                            time.time() - obs_server.started_unix,
+                    }, sort_keys=True)
+                    self._respond(200, "application/json", body)
+                elif route == "/snapshot":
+                    self._respond(200, "application/json",
+                                  render_json(obs_server.registry))
+                else:
+                    self._respond(404, "text/plain; charset=utf-8",
+                                  "not found\n")
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    def start(self) -> "ObsServer":
+        """Begin serving on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"obs-httpd:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def start_server(port: int = 0, host: str = "127.0.0.1",
+                 registry: Optional[MetricsRegistry] = None) -> ObsServer:
+    """Create and start an :class:`ObsServer`; caller owns shutdown."""
+    return ObsServer(port=port, host=host, registry=registry).start()

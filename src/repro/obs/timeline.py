@@ -1,0 +1,126 @@
+"""Structured JSON-lines run telemetry (the *timeline*).
+
+While the registry answers "how much / how fast", the timeline answers
+"what happened when": one JSON object per line, append-only, cheap to
+``tail -f`` and trivially machine-parseable.  Event kinds written by the
+instrumented layers:
+
+* ``phase`` — a named span (``expand``, ``shard``, ``execute``,
+  ``persist``, ``merge``, …) with wall-clock and CPU seconds and an
+  ``ok``/``error`` status;
+* ``engine.dispatch_mode`` — which dispatch path a backend took;
+* ``lease.claim`` / ``lease.renew`` / ``lease.reclaim`` — distributed
+  lease lifecycle;
+* ``store.put`` / ``store.hit`` / ``store.miss`` — result-store traffic.
+
+Every record carries ``ts`` (unix seconds) and ``kind``; everything else
+is event-specific.  Like the metrics registry the timeline is off by
+default: the module-level sink is ``None`` and :func:`emit` returns
+after one attribute read.  Writes are serialised under a lock so worker
+threads never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, IO, Iterator, Optional, Union
+
+__all__ = ["Timeline", "emit", "get_timeline", "phase", "set_timeline",
+           "timeline_active"]
+
+
+class Timeline:
+    """One JSON-lines sink (an opened file or any text stream)."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: IO[str] = path.open("a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Append one event; unknown-type fields fall back to ``repr``."""
+        record = {"ts": time.time(), "kind": kind}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    @contextmanager
+    def phase(self, name: str, **fields: Any) -> Iterator[None]:
+        """Record a span: wall + CPU seconds, ``ok`` or ``error`` status."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        status = "ok"
+        try:
+            yield
+        except BaseException as exc:
+            status = "error"
+            fields.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            self.emit(
+                "phase",
+                name=name,
+                status=status,
+                wall_seconds=time.perf_counter() - wall0,
+                cpu_seconds=time.process_time() - cpu0,
+                **fields,
+            )
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+_TIMELINE: Optional[Timeline] = None
+
+
+def set_timeline(timeline: Optional[Timeline]) -> Optional[Timeline]:
+    """Install (or clear, with ``None``) the process-wide sink.
+
+    Returns the previous sink so callers can restore it; the previous
+    sink is **not** closed — ownership stays with whoever created it.
+    """
+    global _TIMELINE
+    previous = _TIMELINE
+    _TIMELINE = timeline
+    return previous
+
+
+def get_timeline() -> Optional[Timeline]:
+    """The current process-wide sink (``None`` when disabled)."""
+    return _TIMELINE
+
+
+def timeline_active() -> bool:
+    """Whether :func:`emit` currently writes anywhere."""
+    return _TIMELINE is not None
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Emit to the process-wide sink; a no-op when none is installed."""
+    timeline = _TIMELINE
+    if timeline is not None:
+        timeline.emit(kind, **fields)
+
+
+@contextmanager
+def phase(name: str, **fields: Any) -> Iterator[None]:
+    """Span on the process-wide sink; transparent when none installed."""
+    timeline = _TIMELINE
+    if timeline is None:
+        yield
+        return
+    with timeline.phase(name, **fields):
+        yield

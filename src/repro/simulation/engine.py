@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
+from .. import obs
 from ..core.delivery import DeliveryLog
 from ..core.interfaces import BroadcastProtocol
 from ..core.messages import TaggedMessage, payload_kind
@@ -141,6 +142,11 @@ class SimulationResult:
 class SimulationEngine:
     """Drives one simulated run of an anonymous broadcast protocol.
 
+    Observability: the engine records aggregate run counters into the
+    :mod:`repro.obs` registry **once per run**, at the end of
+    :meth:`run` — never inside the dispatch loop — so the disabled cost
+    is a single flag check per simulation and the hot path is untouched.
+
     Parameters
     ----------
     config:
@@ -170,6 +176,10 @@ class SimulationEngine:
         mid-broadcast crashes, failure-detector query outcomes).  ``None``
         (the default) keeps the historic RNG-driven hot paths untouched.
     """
+
+    #: Registry label of this backend ("reference" for the per-event
+    #: engine; subclasses registered under other names override it).
+    engine_label = "reference"
 
     def __init__(
         self,
@@ -506,6 +516,8 @@ class SimulationEngine:
             hook.on_run_end(self, final_time)
         provenance = self._schedule_provenance()
         self.trace.header.update(provenance.as_dict())
+        if obs.enabled():
+            self._record_obs_run()
         return SimulationResult(
             config=self.config,
             crash_schedule=self._effective_crash_schedule(),
@@ -522,6 +534,24 @@ class SimulationEngine:
             event_stats=self.event_stats,
             schedule=provenance,
         )
+
+    def _record_obs_run(self) -> None:
+        """Aggregate run counters into the process-wide obs registry.
+
+        Called once per finished run (and only when observability is
+        enabled); reads post-run aggregates exclusively, so it cannot
+        perturb the deterministic simulation state.
+        """
+        mode = getattr(self, "dispatch_mode", None) or "per-event"
+        obs.counter(
+            "repro_sim_runs_total", "Simulation runs completed.",
+            ("engine", "dispatch_mode"),
+        ).inc(engine=self.engine_label, dispatch_mode=mode)
+        obs.counter(
+            "repro_sim_events_total",
+            "Simulation events dispatched, all kinds.",
+            ("engine",),
+        ).inc(self.event_stats.total, engine=self.engine_label)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -66,6 +66,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.messages import payload_kind
 from ..network.channel import LossyChannel
 from ..network.delay import BatchedUniformDelay, FixedDelay, UniformDelay
@@ -96,6 +97,11 @@ _BOUNDED_TRANSMITS = (
     ReliableChannel.transmit,
     QuasiReliableChannel.transmit,
 )
+
+#: Buckets of the batched-chunk-size histogram: chunk cardinality is the
+#: surviving fan-out of one broadcast, i.e. bounded by n-1 copies.
+_CHUNK_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                  512.0, 1024.0)
 
 
 class _Chunk:
@@ -393,6 +399,8 @@ class VectorizedEngine(SimulationEngine):
     #: took.  ``None`` until :meth:`run` is called.
     dispatch_mode: Optional[str] = None
 
+    engine_label = "vectorized"
+
     def _batchable(self) -> bool:
         """Whether the batched core preserves every observable of this run.
 
@@ -401,17 +409,36 @@ class VectorizedEngine(SimulationEngine):
         — all three need the per-event loop.  DELIVERIES-level tracing and
         every metrics level are exactly reproduced by the batched path.
         """
-        return (
-            self.controller is None
-            and not self.hooks
-            and not self.trace.channel_active
-        )
+        return self._fallback_reason() is None
+
+    def _fallback_reason(self) -> Optional[str]:
+        """Why this run needs the per-event loop (``None`` = batchable)."""
+        if self.controller is not None:
+            return "controller"
+        if self.hooks:
+            return "hooks"
+        if self.trace.channel_active:
+            return "full_trace"
+        return None
 
     def run(self) -> SimulationResult:
-        if not self._batchable():
+        reason = self._fallback_reason()
+        if reason is not None:
             self.dispatch_mode = "per-event"
+            if obs.enabled():
+                obs.counter(
+                    "repro_engine_fallback_total",
+                    "Vectorized runs forced onto the per-event loop.",
+                    ("reason",),
+                ).inc(reason=reason)
+            if obs.timeline_active():
+                obs.emit("engine.dispatch_mode", engine=self.engine_label,
+                         mode="per-event", reason=reason)
             return super().run()
         self.dispatch_mode = "batched"
+        if obs.timeline_active():
+            obs.emit("engine.dispatch_mode", engine=self.engine_label,
+                     mode="batched")
         return self._run_batched()
 
     # ------------------------------------------------------------------ #
@@ -442,6 +469,12 @@ class VectorizedEngine(SimulationEngine):
         if dropped and metrics.active:
             metrics.on_drop_many(now, src, kind, dropped)
         self._batch_pending += k
+        if obs.enabled():
+            obs.histogram(
+                "repro_engine_chunk_cells",
+                "Copies per batched delivery chunk.",
+                buckets=_CHUNK_BUCKETS,
+            ).observe(k)
         chunk = _Chunk(cols, payload)
         heappush(self._chunk_heap,
                  (float(cols[0, 0]), int(cols[1, 0]), chunk))
@@ -520,6 +553,8 @@ class VectorizedEngine(SimulationEngine):
         metrics.on_finish(final_time)
         provenance = self._schedule_provenance()
         self.trace.header.update(provenance.as_dict())
+        if obs.enabled():
+            self._record_obs_run()
         return SimulationResult(
             config=self.config,
             crash_schedule=self._effective_crash_schedule(),

@@ -1,0 +1,85 @@
+"""The live introspection server: routes, content types, lifecycle."""
+
+from __future__ import annotations
+
+import json
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def server():
+    with obs.ObsServer(port=0) as handle:
+        yield handle
+
+
+def _get(server, route):
+    return urlopen(f"http://127.0.0.1:{server.port}{route}", timeout=5.0)
+
+
+class TestObsServer:
+    def test_metrics_route_serves_prometheus_text(self, server):
+        obs.enable()
+        obs.counter("served_total", "Requests served.").inc(3)
+        with _get(server, "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        assert "# TYPE served_total counter" in body
+        assert "served_total 3" in body
+
+    def test_healthz_reports_uptime(self, server):
+        with _get(server, "/healthz") as response:
+            body = json.loads(response.read().decode("utf-8"))
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0
+
+    def test_snapshot_route_serves_json(self, server):
+        obs.enable()
+        obs.gauge("workers", "w").set(4)
+        with _get(server, "/snapshot") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            body = json.loads(response.read().decode("utf-8"))
+        assert body["snapshot_version"] == 1
+        assert body["metrics"]["workers"]["samples"][0]["value"] == 4
+
+    def test_unknown_route_404s(self, server):
+        with pytest.raises(HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, server):
+        obs.enable()
+        counter = obs.counter("live_total", "l")
+        counter.inc()
+        with _get(server, "/metrics") as response:
+            first = response.read().decode("utf-8")
+        counter.inc(9)
+        with _get(server, "/metrics") as response:
+            second = response.read().decode("utf-8")
+        assert "live_total 1" in first
+        assert "live_total 10" in second
+
+    def test_shutdown_is_idempotent_and_releases_port(self):
+        server = obs.start_server(port=0)
+        port = server.port
+        server.shutdown()
+        server.shutdown()
+        # The port is free again: a new server can bind it.
+        replacement = obs.ObsServer(port=port).start()
+        try:
+            assert replacement.port == port
+        finally:
+            replacement.shutdown()
