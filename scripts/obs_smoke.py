@@ -12,11 +12,20 @@ operator would watch one:
    histogram bucket counts must be cumulative) and require the
    coordinator series (``repro_coordinator_polls_total``,
    ``repro_lease_cells``, ``repro_lease_ranges``);
-3. after completion, require the worker series
+3. while scraping, require the *federated* series: every worker must
+   appear as ``worker="<id>"`` labelled samples on the coordinator's
+   ``/metrics``, and within one scrape body every ``worker="_total"``
+   counter aggregate must equal the sum of the per-worker samples for
+   the same label tuple;
+4. after completion, require the worker series
    (``repro_sim_runs_total``, ``repro_store_puts_total``,
    ``repro_worker_cells_total``) in the workers' ``--metrics-out``
    snapshots and run the alert rules (``repro-urb obs check``) over
-   every final snapshot — a reclaim storm or failed cells fails CI.
+   every final snapshot — a reclaim storm or failed cells fails CI;
+5. reconstruct the distributed trace with ``repro-urb trace view
+   --json`` and require a single trace id, zero orphan spans, and
+   correctly parented worker → claim → cell span chains from *every*
+   worker.
 
 Exits non-zero with a diagnostic on any violated invariant.  The workdir
 is left behind so CI can upload it as an artifact.
@@ -176,6 +185,88 @@ def check_snapshot_series(path: Path, required: tuple[str, ...]) -> None:
              f"(has: {sorted(data.get('metrics', {}))})")
 
 
+def check_federated_totals(
+        series: dict[str, list[tuple[dict, float]]]) -> int:
+    """Every ``worker="_total"`` sample must equal the sum of the
+    per-worker samples for the same label tuple, within one scrape body
+    (one body = one read of the snapshot files, so no file race).
+    Returns the number of aggregates checked."""
+    checked = 0
+    for name, samples in series.items():
+        groups: dict[tuple, dict[str, float]] = {}
+        for labels, value in samples:
+            if "worker" not in labels:
+                continue  # the coordinator's own local series
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "worker"))
+            groups.setdefault(key, {})[labels["worker"]] = value
+        for key, by_worker in groups.items():
+            if "_total" not in by_worker:
+                continue
+            total = by_worker["_total"]
+            partial = sum(v for w, v in by_worker.items() if w != "_total")
+            if abs(total - partial) > 1e-9:
+                fail(f"federated {name}{dict(key)}: worker=\"_total\" is "
+                     f"{total} but per-worker samples sum to {partial}")
+            checked += 1
+    return checked
+
+
+def check_trace(workdir: Path, job: Path, env: dict[str, str],
+                worker_ids: list[str]) -> None:
+    """Reconstruct the distributed trace and verify its invariants:
+    one trace id across every span file, a single ``job`` root, no
+    orphans, and worker → claim → cell parenting from every worker."""
+    command = [sys.executable, "-m", "repro", "trace", "view",
+               str(job), str(workdir / "coordinator.jsonl"), "--json"]
+    result = subprocess.run(command, env=env, capture_output=True,
+                            text=True)
+    if result.returncode != 0:
+        fail(f"trace view exited {result.returncode}:\n{result.stderr}")
+    doc = json.loads(result.stdout)
+    if doc["orphan_span_ids"]:
+        fail(f"trace has orphan spans: {doc['orphan_span_ids']}")
+
+    trace_ids = set()
+    span_files = [workdir / "coordinator.jsonl",
+                  *sorted((job / "obs").rglob("*.jsonl"))]
+    for path in span_files:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            if record.get("kind") == "span":
+                trace_ids.add(record["trace_id"])
+    if len(trace_ids) != 1:
+        fail(f"expected a single trace id across "
+             f"{len(span_files)} span file(s), found {sorted(trace_ids)}")
+
+    spans = doc["spans"]
+    roots = [span for span in spans.values()
+             if span["parent_span_id"] is None]
+    if len(roots) != 1 or roots[0]["name"] != "job":
+        fail(f"expected one 'job' root span, got "
+             f"{[root['name'] for root in roots]}")
+    for worker_id in worker_ids:
+        cells = [span for span in spans.values()
+                 if span["name"] == "cell" and span["proc"] == worker_id]
+        if not cells:
+            fail(f"no cell spans recorded by worker {worker_id}")
+        for cell in cells:
+            claim = spans.get(cell["parent_span_id"] or "")
+            if claim is None or claim["name"] != "claim":
+                fail(f"cell span {cell['span_id']} ({worker_id}) is not "
+                     f"parented to a claim span")
+            worker_span = spans.get(claim["parent_span_id"] or "")
+            if worker_span is None or worker_span["name"] != "worker":
+                fail(f"claim span {claim['span_id']} ({worker_id}) is not "
+                     f"parented to a worker span")
+            if worker_span["parent_span_id"] != roots[0]["span_id"]:
+                fail(f"worker span of {worker_id} is not parented to the "
+                     f"job root")
+    print(f"trace ok: 1 trace id, {doc['span_count']} spans, "
+          f"{doc['cells']['count']} cell spans, no orphans, "
+          f"claim->cell chains verified for {len(worker_ids)} worker(s)")
+
+
 def run_alerts(path: Path) -> None:
     result = subprocess.run(
         [sys.executable, "-m", "repro", "obs", "check", str(path)],
@@ -220,6 +311,9 @@ def main() -> int:
     ]
 
     env = run_env()
+    # Tighten the workers' snapshot flush cadence so the mid-run scrape
+    # reliably sees federated series on a fast 24-cell job.
+    env["REPRO_OBS_FLUSH_INTERVAL"] = "0.2"
     serve_log = (workdir / "serve.log").open("w")
     serve = subprocess.Popen(serve_cmd, env=env, stdout=serve_log,
                              stderr=subprocess.STDOUT)
@@ -232,6 +326,7 @@ def main() -> int:
     # ---- mid-run: scrape and validate the coordinator's /metrics ----- #
     deadline = time.monotonic() + args.timeout
     live_series: dict[str, list] | None = None
+    federated_series: dict[str, list] | None = None
     scrapes = 0
     try:
         while serve.poll() is None:
@@ -245,6 +340,11 @@ def main() -> int:
                 # the first status poll.
                 if all(name in parsed for name in COORDINATOR_SERIES):
                     live_series = parsed
+                # Keep the last scrape carrying federated aggregates.
+                if any("_total" == labels.get("worker")
+                       for samples in parsed.values()
+                       for labels, _value in samples):
+                    federated_series = parsed
             time.sleep(0.2)
     finally:
         for worker, _log in workers:
@@ -291,14 +391,41 @@ def main() -> int:
         fail("coordinator timeline was not written")
     kinds = {json.loads(line)["kind"]
              for line in timeline.read_text().splitlines()}
-    if "phase" not in kinds:
-        fail(f"coordinator timeline has no phase events (kinds: {kinds})")
+    # A traced coordinator upgrades its phase records to spans and emits
+    # clock anchors from its lease-table polls.
+    for required_kind in ("span", "anchor"):
+        if required_kind not in kinds:
+            fail(f"coordinator timeline has no {required_kind!r} events "
+                 f"(kinds: {kinds})")
+
+    # ---- federation: per-worker series + exact _total aggregates ----- #
+    if federated_series is None:
+        fail("no mid-run scrape ever carried federated worker=\"_total\" "
+             "aggregates")
+    for worker_index in range(args.workers):
+        worker_id = f"smoke-w{worker_index}"
+        seen = any(labels.get("worker") == worker_id
+                   for samples in federated_series.values()
+                   for labels, _value in samples)
+        if not seen:
+            fail(f"federated /metrics never showed worker={worker_id!r} "
+                 f"samples")
+    aggregates = check_federated_totals(federated_series)
+    if aggregates == 0:
+        fail("federated scrape carried no checkable _total aggregates")
+    print(f"federation ok: {aggregates} worker=\"_total\" aggregate(s) "
+          f"equal their per-worker sums")
+
+    # ---- tracing: one causally-consistent span tree ------------------ #
+    check_trace(workdir, job, env,
+                [f"smoke-w{index}" for index in range(args.workers)])
 
     for path in sorted(workdir.glob("*.json")):
         run_alerts(path)
 
-    print("obs smoke ok: live scrape validated, worker snapshots "
-          "complete, no alert rules firing")
+    print("obs smoke ok: live scrape validated, federation aggregates "
+          "exact, trace tree consistent, worker snapshots complete, "
+          "no alert rules firing")
     return 0
 
 

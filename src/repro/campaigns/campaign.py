@@ -25,6 +25,7 @@ suite — the test suite asserts this float-for-float.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -148,8 +149,24 @@ class Campaign:
 
         ``recompute=True`` ignores and overwrites stored cells — the escape
         hatch after a code change that deliberately alters results without
-        changing scenarios (the hash cannot see code).
+        changing scenarios (the hash cannot see code).  When a trace
+        context is active, the whole run becomes one ``campaign`` span and
+        the expand/execute/persist phases nest under it.
         """
+        run_cm = obs.span("campaign", campaign=self.name,
+                          cells=len(self.items)) \
+            if obs.tracing_active() else nullcontext()
+        with run_cm:
+            return self._run(resume=resume, recompute=recompute,
+                             progress=progress)
+
+    def _run(
+        self,
+        *,
+        resume: bool,
+        recompute: bool,
+        progress: Optional[ProgressCallback],
+    ) -> CampaignReport:
         started = time.perf_counter()
         with obs.phase("expand", campaign=self.name,
                        cells=len(self.items)):

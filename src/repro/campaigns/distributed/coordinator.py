@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ... import obs
+from ...obs import tracing as obs_tracing
 from ...experiments.batch import ScenarioSuite, SuiteItem, normalise_suite
 from ...experiments.config import Scenario
 from ..hashing import canonical_scenario_dict, scenario_cell_key
@@ -97,6 +98,11 @@ class Coordinator:
         self.range_size = range_size
         self._keys = tuple(scenario_cell_key(item.scenario)
                            for item in self.items)
+        # Tracing/federation state, populated by prepare() when obs is on.
+        self._trace_context: Optional[obs.TraceContext] = None
+        self._trace_minted_unix: Optional[float] = None
+        self._own_timeline: Optional[obs.Timeline] = None
+        self._anchor_seen: set[tuple[str, float]] = set()
 
     # ------------------------------------------------------------------ #
     def manifest_rows(self) -> list[tuple[int, str, str]]:
@@ -104,8 +110,39 @@ class Coordinator:
         return [(item.index, item.group, key)
                 for item, key in zip(self.items, self._keys)]
 
+    def _setup_observability(self) -> None:
+        """Mint/adopt the job's trace context and install federation.
+
+        Called from :meth:`prepare`; a no-op unless obs is enabled, so
+        disabled runs never touch :mod:`uuid` or the filesystem.  The
+        context is persisted as ``<workdir>/obs/trace.json`` for workers
+        to inherit; resuming a job adopts the existing file so the
+        original trace keeps growing.
+        """
+        if not obs.enabled():
+            return
+        obs_dir = self.workdir / "obs"
+        obs.set_process_name("coordinator")
+        if not obs.timeline_active():
+            self._own_timeline = obs.Timeline(
+                obs_dir / "coordinator" / "timeline.jsonl")
+            obs.set_timeline(self._own_timeline)
+        context = obs.current_context()
+        if context is None:
+            context = obs.load_context(obs_dir) or obs.mint_context()
+            obs.set_context(context)
+        self._trace_context = context
+        meta = obs_tracing.load_context_meta(obs_dir)
+        if meta.get("trace_id") != context.trace_id:
+            obs.save_context(obs_dir, context, job=self.name)
+            meta = obs_tracing.load_context_meta(obs_dir)
+        self._trace_minted_unix = float(
+            meta.get("minted_unix") or time.time())
+        obs.set_federation(obs.Federation(obs_dir))
+
     def prepare(self) -> None:
         """Write the lease table (idempotent on an identical manifest)."""
+        self._setup_observability()
         with obs.phase("shard", job=self.name, cells=len(self.items)):
             with LeaseTable(self.workdir, create=True) as table:
                 table.initialise(
@@ -138,6 +175,7 @@ class Coordinator:
             while True:
                 status = table.status()
                 self._record_status(status)
+                self._record_anchors(table)
                 if on_status is not None:
                     on_status(status)
                 if status.complete:
@@ -176,6 +214,23 @@ class Coordinator:
                   "Lease reclaims recorded in the lease table.").set(
             status.reclaims)
 
+    def _record_anchors(self, table: LeaseTable) -> None:
+        """Emit cross-process clock anchors observed in the lease table.
+
+        Each new ``(worker, worker_unix)`` pair becomes one ``anchor``
+        timeline record — the raw material ``trace view`` uses for
+        wall-clock skew normalisation.  Only runs when this job is
+        traced, so untraced timelines stay exactly as before.
+        """
+        if self._trace_context is None or not obs.timeline_active():
+            return
+        for sample in table.lease_observations():
+            key = (sample["worker"], sample["worker_unix"])
+            if key in self._anchor_seen:
+                continue
+            self._anchor_seen.add(key)
+            obs.emit("anchor", **sample)
+
     def finalize(self, store: ResultStore) -> MergeStats:
         """Merge every registered worker store into *store* and register
         the campaign manifest there.
@@ -200,7 +255,27 @@ class Coordinator:
         resume = store.campaign_info(self.name) is not None
         store.register_campaign(self.name, self.suite_name,
                                 self.manifest_rows(), resume=resume)
+        self._finish_trace()
         return stats
+
+    def _finish_trace(self) -> None:
+        """Close out the job trace: emit the root span, release the sink.
+
+        The root span is written last (its ids were minted at prepare
+        time) so worker spans are never orphans in the merged tree; the
+        coordinator's own timeline file is only closed if prepare()
+        installed it — an externally installed sink stays untouched.
+        """
+        if self._trace_context is not None and obs.timeline_active():
+            obs_tracing.emit_root_span(
+                self._trace_context, "job",
+                start_unix=self._trace_minted_unix or time.time(),
+                job=self.name, cells=len(self.items))
+        self._trace_context = None
+        if self._own_timeline is not None:
+            obs.set_timeline(None)
+            self._own_timeline.close()
+            self._own_timeline = None
 
     # ------------------------------------------------------------------ #
     def serve(

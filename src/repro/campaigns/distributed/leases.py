@@ -549,6 +549,42 @@ class LeaseTable:
     # ------------------------------------------------------------------ #
     # status
     # ------------------------------------------------------------------ #
+    def lease_observations(
+            self, *, now: Optional[float] = None) -> list[dict[str, Any]]:
+        """Worker-clock samples visible in the table (trace skew anchors).
+
+        Every live lease row carries ``lease_expires = worker_now +
+        lease_timeout`` and every worker row a ``last_seen`` heartbeat —
+        both written with the *worker's* clock and provably before this
+        read.  Each sample pairs that worker timestamp with the reader's
+        clock (``observed_unix``); :func:`repro.obs.tracing.skew_offsets`
+        turns the pairs into per-worker clock corrections.  Read-only.
+        """
+        now = time.time() if now is None else now
+        timeout = self.lease_timeout
+        observations: list[dict[str, Any]] = []
+        for row in self._db.execute(
+            "SELECT worker, range_id, epoch, lease_expires FROM ranges "
+            "WHERE state = 'leased' AND worker IS NOT NULL "
+            "AND lease_expires IS NOT NULL"
+        ).fetchall():
+            observations.append({
+                "worker": str(row["worker"]),
+                "range_id": int(row["range_id"]),
+                "epoch": int(row["epoch"]),
+                "worker_unix": float(row["lease_expires"]) - timeout,
+                "observed_unix": now,
+            })
+        for row in self._db.execute(
+            "SELECT worker, last_seen FROM workers"
+        ).fetchall():
+            observations.append({
+                "worker": str(row["worker"]),
+                "worker_unix": float(row["last_seen"]),
+                "observed_unix": now,
+            })
+        return observations
+
     def status(self, *, now: Optional[float] = None) -> JobStatus:
         """Aggregate job progress (does not mutate lease state)."""
         now = time.time() if now is None else now

@@ -18,6 +18,7 @@ re-execution by the new lease holder.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -145,17 +146,66 @@ class Worker:
         with self._open_lease_table() as table, \
                 ResultStore(self.store_root) as store:
             table.register_worker(self.worker_id, self.store_root)
-            while max_ranges is None or report.ranges_completed + \
-                    report.ranges_abandoned < max_ranges:
-                grant = table.claim(self.worker_id)
-                if grant is None:
-                    if table.status().complete:
-                        break
-                    time.sleep(self.poll_interval)
-                    continue
-                self._execute_grant(table, store, grant, report, progress)
+            cleanup = self._setup_observability()
+            try:
+                worker_cm = obs.span("worker", worker=self.worker_id) \
+                    if obs.tracing_active() else nullcontext()
+                with worker_cm:
+                    while max_ranges is None or report.ranges_completed + \
+                            report.ranges_abandoned < max_ranges:
+                        grant = table.claim(self.worker_id)
+                        if grant is None:
+                            if table.status().complete:
+                                break
+                            time.sleep(self.poll_interval)
+                            continue
+                        self._execute_grant(table, store, grant, report,
+                                            progress)
+            finally:
+                cleanup()
         report.elapsed_seconds = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------------------ #
+    def _setup_observability(self) -> Callable[[], None]:
+        """Join the job's trace/federation; returns an undo callable.
+
+        When obs is enabled the worker adopts the coordinator's persisted
+        trace context from ``<workdir>/obs/trace.json`` (if this process
+        has none yet), labels its spans with the worker id, installs a
+        default span sink at ``<workdir>/obs/<worker_id>/timeline.jsonl``
+        when no timeline is active, and starts the periodic metrics
+        snapshot flusher the coordinator federates from.  Disabled runs
+        skip all of it — no uuid, no clock, no files.
+        """
+        if not obs.enabled():
+            return lambda: None
+        obs_dir = self.workdir / "obs"
+        previous_name = obs.set_process_name(self.worker_id)
+        flusher = obs.SnapshotFlusher(obs_dir, self.worker_id).start()
+        previous_context: Optional[obs.TraceContext] = None
+        adopted = False
+        if obs.current_context() is None:
+            context = obs.load_context(obs_dir)
+            if context is not None:
+                previous_context = obs.set_context(context)
+                adopted = True
+        own_timeline: Optional[obs.Timeline] = None
+        if obs.tracing_active() and not obs.timeline_active():
+            own_timeline = obs.Timeline(
+                obs_dir / self.worker_id / "timeline.jsonl")
+            obs.set_timeline(own_timeline)
+
+        def cleanup() -> None:
+            flusher.stop()
+            if own_timeline is not None:
+                obs.set_timeline(None)
+                own_timeline.close()
+            if adopted:
+                obs.set_context(previous_context)
+            obs.set_process_name(previous_name)
+
+        return cleanup
 
     # ------------------------------------------------------------------ #
     def _execute_grant(
@@ -166,46 +216,82 @@ class Worker:
         report: WorkerReport,
         progress: Optional[WorkerProgress],
     ) -> None:
+        traced = obs.tracing_active()
+        claim_cm = obs.span(
+            "claim", range_id=grant.range_id, start=grant.start,
+            count=len(grant.cells), epoch=grant.epoch,
+        ) if traced else nullcontext()
+        with claim_cm as claim_span:
+            completed = self._run_grant_cells(table, store, grant, report,
+                                              progress, traced)
+            if claim_span is not None:
+                claim_span.annotate(
+                    outcome="completed" if completed else "abandoned")
+
+    def _run_grant_cells(
+        self,
+        table: LeaseTable,
+        store: ResultStore,
+        grant: RangeGrant,
+        report: WorkerReport,
+        progress: Optional[WorkerProgress],
+        traced: bool,
+    ) -> bool:
+        """Process one grant's cells; ``True`` iff the range completed."""
         for cell in grant.cells:
             if not table.renew(grant):
                 report.ranges_abandoned += 1
-                return
-            if store.contains(cell.cell_key, count=False):
-                # Cached from an earlier lease of this worker (or a shared
-                # store) — report progress without re-simulating.
-                report.cells_cached += 1
-                if obs.enabled():
-                    _cells_total().inc(outcome="cached")
-            else:
-                try:
-                    scenario = scenario_from_canonical_dict(cell.scenario)
-                    result = run_scenario(scenario)
-                except Exception as exc:  # noqa: BLE001 - isolate like batch
-                    report.errors.append(
-                        f"cell {cell.position} ({cell.group}): {exc!r}"
-                    )
+                return False
+            cell_cm = obs.span(
+                "cell", cell_key=cell.cell_key, position=cell.position,
+                group=cell.group,
+            ) if traced else nullcontext()
+            with cell_cm as cell_span:
+                if store.contains(cell.cell_key, count=False):
+                    # Cached from an earlier lease of this worker (or a
+                    # shared store) — report progress without re-simulating.
+                    report.cells_cached += 1
                     if obs.enabled():
-                        _cells_total().inc(outcome="error")
-                    # The cell is not persisted; completing the range would
-                    # silently drop it, so abandon and let the lease expire
-                    # path retry it elsewhere.
-                    report.ranges_abandoned += 1
-                    return
-                store.put(result, cell_key=cell.cell_key)
-                report.cells_executed += 1
-                if obs.enabled():
-                    _cells_total().inc(outcome="executed")
-                    _cell_seconds().observe(result.wall_time)
+                        _cells_total().inc(outcome="cached")
+                    if cell_span is not None:
+                        cell_span.annotate(outcome="cached")
+                else:
+                    try:
+                        scenario = scenario_from_canonical_dict(
+                            cell.scenario)
+                        result = run_scenario(scenario)
+                    except Exception as exc:  # noqa: BLE001 - as batch
+                        report.errors.append(
+                            f"cell {cell.position} ({cell.group}): {exc!r}"
+                        )
+                        if obs.enabled():
+                            _cells_total().inc(outcome="error")
+                        if cell_span is not None:
+                            cell_span.annotate(outcome="error",
+                                               error=repr(exc))
+                        # The cell is not persisted; completing the range
+                        # would silently drop it, so abandon and let the
+                        # lease expire path retry it elsewhere.
+                        report.ranges_abandoned += 1
+                        return False
+                    store.put(result, cell_key=cell.cell_key)
+                    report.cells_executed += 1
+                    if obs.enabled():
+                        _cells_total().inc(outcome="executed")
+                        _cell_seconds().observe(result.wall_time)
+                    if cell_span is not None:
+                        cell_span.annotate(outcome="executed")
             if progress is not None:
                 progress(self.worker_id,
                          report.cells_executed + report.cells_cached)
             if not table.record_cell_done(grant):
                 report.ranges_abandoned += 1
-                return
+                return False
         if table.complete_range(grant):
             report.ranges_completed += 1
-        else:
-            report.ranges_abandoned += 1
+            return True
+        report.ranges_abandoned += 1
+        return False
 
 
 def run_worker(

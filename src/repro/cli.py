@@ -476,6 +476,45 @@ def build_parser() -> argparse.ArgumentParser:
                              "when it starts with http:// or https://")
     ocheck.add_argument("--rules", default=None, metavar="FILE",
                         help="JSON rules file (default: built-in rules)")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="distributed traces: merge per-process span files into one "
+             "tree, export to Chrome tracing",
+        parents=[plugin_parent])
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    trace_target_help = (
+        "a job workdir (span files are discovered under <workdir>/obs/) "
+        "or explicit timeline .jsonl files")
+    tview = trace_sub.add_parser(
+        "view",
+        help="reconstruct the causally-ordered span tree of a campaign",
+        parents=[plugin_parent])
+    tview.add_argument("targets", nargs="+", metavar="TARGET",
+                       help=trace_target_help)
+    tview.add_argument("--trace-id", default=None,
+                       help="select one trace when several are present "
+                            "(default: the one with the most spans)")
+    tview.add_argument("--json", action="store_true",
+                       help="machine-readable output (tree, latency and "
+                            "critical-path sections) instead of text")
+    tview.add_argument("--max-children", type=int, default=40,
+                       help="children rendered per span in text mode "
+                            "(default %(default)s)")
+    texport = trace_sub.add_parser(
+        "export",
+        help="export the merged trace for external viewers",
+        parents=[plugin_parent])
+    texport.add_argument("targets", nargs="+", metavar="TARGET",
+                        help=trace_target_help)
+    texport.add_argument("--trace-id", default=None,
+                         help="select one trace when several are present")
+    texport.add_argument("--format", choices=("chrome",), default="chrome",
+                         help="output format: 'chrome' is Chrome "
+                              "chrome://tracing / Perfetto JSON")
+    texport.add_argument("--output", "-o", default=None, metavar="FILE",
+                         help="write to FILE instead of stdout")
     return parser
 
 
@@ -1025,6 +1064,9 @@ def _campaign_status_once(
             print(f"error: {exc}", file=sys.stderr)
             return 2, True, 0
         print(line)
+        federated = _federation_status_line(args.workdir)
+        if federated is not None:
+            print(federated)
         complete = complete and job_complete
         # During a distributed run the destination store stays empty until
         # the merge, so the lease table carries the live progress.
@@ -1032,10 +1074,46 @@ def _campaign_status_once(
     return 0, complete, done_cells
 
 
+def _federation_status_line(workdir: str) -> Optional[str]:
+    """Per-worker cell counts from federated metric snapshots, if any.
+
+    Workers flush snapshots into ``<workdir>/obs/<worker_id>/`` when obs
+    is enabled; an untraced job has no snapshots and gets no line.
+    """
+    import time as time_module
+
+    from .obs import federation
+
+    try:
+        envelopes = federation.read_snapshots(Path(workdir) / "obs")
+    except (OSError, ValueError):
+        return None
+    if not envelopes:
+        return None
+    now = time_module.time()
+    parts = []
+    for worker in sorted(envelopes):
+        metrics = envelopes[worker].get("snapshot", {}).get("metrics", {})
+        cells = sum(
+            sample.get("value", 0.0)
+            for sample in metrics.get("repro_worker_cells_total",
+                                      {}).get("samples", ()))
+        age = now - float(envelopes[worker].get("written_unix", now))
+        parts.append(f"{worker} {cells:.0f} cell(s), {age:.0f}s ago")
+    return "workers (federated): " + "; ".join(parts)
+
+
 def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
+    import math
     import time as time_module
 
     previous: Optional[tuple[float, int]] = None
+    ewma: Optional[float] = None
+    # Time constant of ~5 poll intervals: long enough to smooth jitter,
+    # short enough that a late-run straggler phase (rate collapsing while
+    # one worker grinds the tail) is visible instead of being averaged
+    # away by the fast early ramp, as a since-start mean would do.
+    tau = max(5.0 * getattr(args, "interval", 1.0), 1e-6)
     while True:
         now = time_module.monotonic()
         code, complete, done = _campaign_status_once(store, args)
@@ -1043,8 +1121,12 @@ def _campaign_status(store: "ResultStore", args: argparse.Namespace) -> int:
             elapsed = now - previous[0]
             delta = done - previous[1]
             if elapsed > 0:
-                print(f"rate: {delta / elapsed:.2f} cells/s "
-                      f"(+{delta} cell(s) in {elapsed:.1f}s)")
+                instant = delta / elapsed
+                alpha = 1.0 - math.exp(-elapsed / tau)
+                ewma = instant if ewma is None \
+                    else ewma + alpha * (instant - ewma)
+                print(f"rate: {ewma:.2f} cells/s "
+                      f"(EWMA; +{delta} cell(s) in {elapsed:.1f}s)")
         previous = (now, done)
         if not args.watch or code != 0 or complete:
             return code
@@ -1247,6 +1329,109 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * (len(sorted_values) - 1) + 0.5),
+                len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from .obs import tracing
+
+    targets = args.targets[0] if len(args.targets) == 1 else args.targets
+    try:
+        tree = tracing.load_trace(targets, trace_id=args.trace_id)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if tree.span_count == 0:
+        print("error: no span records found (was the job traced? spans "
+              "require an enabled obs layer)", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "export":
+        events = tracing.chrome_trace_events(tree)
+        body = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                          indent=2, sort_keys=True)
+        if args.output is not None:
+            output = Path(args.output)
+            output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(body + "\n", encoding="utf-8")
+            print(f"trace: wrote {len(events)} event(s) for trace "
+                  f"{tree.trace_id} to {output}")
+        else:
+            print(body)
+        return 0
+
+    cells = tree.cell_spans()
+    latencies = sorted(cell.wall_seconds for cell in cells)
+    critical = tree.critical_path()
+    by_proc: dict[str, list[float]] = {}
+    for cell in cells:
+        by_proc.setdefault(cell.proc, []).append(cell.wall_seconds)
+
+    if args.json:
+        document = {
+            "trace_id": tree.trace_id,
+            "span_count": tree.span_count,
+            "procs": list(tree.procs),
+            "orphan_span_ids": [node.span_id for node in tree.orphans],
+            "skew_offsets": tree.offsets,
+            "spans": {span_id: node.as_dict()
+                      for span_id, node in tree.by_id.items()},
+            "cells": {
+                "count": len(cells),
+                "wall_seconds_total": sum(latencies),
+                "wall_seconds_mean":
+                    (sum(latencies) / len(latencies)) if latencies else 0.0,
+                "wall_seconds_p95": _percentile(latencies, 0.95),
+                "by_proc": {proc: {"count": len(values),
+                                   "wall_seconds_total": sum(values)}
+                            for proc, values in sorted(by_proc.items())},
+            },
+            "critical_path": [node.span_id for node in critical],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    print(f"trace {tree.trace_id}: {tree.span_count} span(s) across "
+          f"{len(tree.procs)} process(es) ({', '.join(tree.procs)})")
+    if tree.offsets:
+        shifts = ", ".join(f"{proc}: -{offset * 1000:.1f}ms"
+                           for proc, offset in sorted(tree.offsets.items()))
+        print(f"clock skew normalised: {shifts}")
+    if tree.orphans:
+        print(f"WARNING: {len(tree.orphans)} orphan span(s) — a parent "
+              "record is missing (partial files or broken propagation)")
+    print()
+    print(tree.render(max_children=args.max_children))
+    if cells:
+        print()
+        print(f"cells: {len(cells)} — total {sum(latencies):.3f}s, "
+              f"mean {sum(latencies) / len(latencies):.3f}s, "
+              f"p95 {_percentile(latencies, 0.95):.3f}s")
+        for proc, values in sorted(by_proc.items()):
+            print(f"  {proc}: {len(values)} cell(s), "
+                  f"{sum(values):.3f}s total")
+        slowest = sorted(cells, key=lambda c: c.wall_seconds,
+                         reverse=True)[:3]
+        for cell in slowest:
+            key = str(cell.fields.get("cell_key", ""))[:12]
+            print(f"  slowest: {key} on {cell.proc} "
+                  f"({cell.wall_seconds:.3f}s)")
+    if critical:
+        print()
+        total = critical[0].wall_seconds
+        print(f"critical path ({total:.3f}s at the root):")
+        for node in critical:
+            share = (node.wall_seconds / total * 100) if total > 0 else 0.0
+            print(f"  {node.name} ({node.proc}) {node.wall_seconds:.3f}s "
+                  f"[{share:.0f}%]")
+    return 0
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     from .campaigns import LeaseError, ResultStore, StoreError
 
@@ -1310,6 +1495,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _command_campaign,
         "store": _command_store,
         "obs": _command_obs,
+        "trace": _command_trace,
     }
     handler = handlers.get(args.command)
     if handler is not None:

@@ -29,6 +29,18 @@ Components
 :mod:`~repro.obs.alerts`
     Declarative threshold rules evaluated against a snapshot into
     exit-code-carrying reports for CI.
+:mod:`~repro.obs.tracing`
+    Dapper-style trace contexts propagated coordinator → workers through
+    the job directory; spans ride the timeline as a ``span`` kind and
+    merge into one causally-ordered tree (``repro-urb trace view``).
+:mod:`~repro.obs.federation`
+    Worker metric snapshots flushed into the job directory and merged by
+    the coordinator into ``worker="..."`` + ``worker="_total"`` series.
+
+The package-level :func:`phase` is the *trace-aware* one: with no active
+trace context it behaves exactly like the plain timeline phase, and with
+one it upgrades the record to a ``span`` — instrumented callsites never
+need to know which.
 """
 
 from .registry import (
@@ -50,24 +62,45 @@ from .timeline import (
     Timeline,
     emit,
     get_timeline,
-    phase,
     set_timeline,
     timeline_active,
 )
 from .httpd import ObsServer, start_server
 from .alerts import AlertReport, AlertRule, default_rules, evaluate, load_rules
+from .tracing import (
+    TraceContext,
+    current_context,
+    load_context,
+    mint_context,
+    phase,
+    save_context,
+    set_context,
+    set_process_name,
+    span,
+    tracing_active,
+)
+from .federation import (
+    Federation,
+    SnapshotFlusher,
+    get_federation,
+    set_federation,
+)
 
 __all__ = [
     "AlertReport",
     "AlertRule",
     "Counter",
+    "Federation",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsServer",
     "REGISTRY",
+    "SnapshotFlusher",
     "Timeline",
+    "TraceContext",
     "counter",
+    "current_context",
     "default_rules",
     "disable",
     "emit",
@@ -75,15 +108,24 @@ __all__ = [
     "enabled",
     "evaluate",
     "gauge",
+    "get_federation",
     "get_timeline",
     "histogram",
+    "load_context",
     "load_rules",
+    "mint_context",
     "phase",
     "render_json",
     "render_prometheus",
     "reset",
+    "save_context",
+    "set_context",
+    "set_federation",
+    "set_process_name",
     "set_timeline",
     "snapshot",
+    "span",
     "start_server",
     "timeline_active",
+    "tracing_active",
 ]

@@ -7,6 +7,12 @@ three read-only routes off the process-wide registry:
 * ``GET /healthz`` — liveness JSON (``status``, ``uptime_seconds``);
 * ``GET /snapshot`` — the key-sorted JSON snapshot.
 
+When a process-wide :class:`~repro.obs.federation.Federation` is
+installed (a coordinator serving a distributed job), ``/metrics`` and
+``/snapshot`` consult it at request time, so each scrape also carries
+the ``worker="..."`` per-worker series and ``worker="_total"``
+aggregates merged from the workers' flushed snapshots.
+
 Opt-in via ``--metrics-port`` on the CLI verbs (port ``0`` binds an
 ephemeral port; the bound port is reported via :attr:`ObsServer.port`).
 The server runs on a daemon thread, so a crashing run never hangs on
@@ -51,10 +57,16 @@ class ObsServer:
                 self.wfile.write(payload)
 
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                from .federation import get_federation
+
                 route = self.path.split("?", 1)[0]
+                federation = get_federation()
                 if route == "/metrics":
-                    self._respond(200, CONTENT_TYPE_PROMETHEUS,
-                                  render_prometheus(obs_server.registry))
+                    if federation is not None:
+                        body = federation.render_prometheus()
+                    else:
+                        body = render_prometheus(obs_server.registry)
+                    self._respond(200, CONTENT_TYPE_PROMETHEUS, body)
                 elif route == "/healthz":
                     body = json.dumps({
                         "status": "ok",
@@ -63,8 +75,12 @@ class ObsServer:
                     }, sort_keys=True)
                     self._respond(200, "application/json", body)
                 elif route == "/snapshot":
-                    self._respond(200, "application/json",
-                                  render_json(obs_server.registry))
+                    if federation is not None:
+                        body = json.dumps(federation.snapshot(),
+                                          indent=2, sort_keys=True)
+                    else:
+                        body = render_json(obs_server.registry)
+                    self._respond(200, "application/json", body)
                 else:
                     self._respond(404, "text/plain; charset=utf-8",
                                   "not found\n")

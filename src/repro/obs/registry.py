@@ -369,6 +369,15 @@ def histogram(name: str, help: str = "",
 
 
 def reset() -> None:
-    """Clear the default registry and disable recording (tests)."""
+    """Clear the default registry and disable recording (tests).
+
+    Also clears the process-wide trace context, process name and
+    federation handle so one test's tracing state never leaks into the
+    next (imports deferred: those modules import this one).
+    """
     REGISTRY.reset()
     disable()
+    from . import federation, tracing
+    tracing.set_context(None)
+    tracing.set_process_name(None)
+    federation.set_federation(None)

@@ -8,6 +8,14 @@ instrumented layers:
 * ``phase`` — a named span (``expand``, ``shard``, ``execute``,
   ``persist``, ``merge``, …) with wall-clock and CPU seconds and an
   ``ok``/``error`` status;
+* ``span`` — a *traced* phase (see :mod:`repro.obs.tracing`): the same
+  timing fields plus ``trace_id``/``span_id``/``parent_span_id``,
+  ``proc`` and ``start_unix``/``end_unix``, written whenever a trace
+  context is active so per-process files merge into one campaign tree;
+* ``anchor`` — a cross-process clock sample ``(worker, worker_unix,
+  observed_unix)`` emitted by the coordinator from lease-table
+  observations, used for wall-clock skew normalisation in
+  ``trace view``;
 * ``engine.dispatch_mode`` — which dispatch path a backend took;
 * ``lease.claim`` / ``lease.renew`` / ``lease.reclaim`` — distributed
   lease lifecycle;

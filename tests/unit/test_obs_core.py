@@ -198,6 +198,32 @@ class TestTimeline:
         assert lines[2]["status"] == "error"
         assert "boom" in lines[2]["error"]
 
+    def test_direct_phase_error_records_status_and_reraises(self):
+        stream = io.StringIO()
+        timeline = obs.Timeline(stream)
+        with pytest.raises(KeyError, match="gone"):
+            with timeline.phase("load", attempt=2):
+                raise KeyError("gone")
+        (record,) = [json.loads(line) for line
+                     in stream.getvalue().splitlines()]
+        assert record["kind"] == "phase"
+        assert record["name"] == "load"
+        assert record["status"] == "error"
+        assert "gone" in record["error"]
+        assert record["attempt"] == 2
+        assert record["wall_seconds"] >= 0
+
+    def test_direct_phase_keeps_caller_supplied_error_field(self):
+        stream = io.StringIO()
+        timeline = obs.Timeline(stream)
+        with pytest.raises(RuntimeError):
+            with timeline.phase("load", error="preset"):
+                raise RuntimeError("shadowed")
+        (record,) = [json.loads(line) for line
+                     in stream.getvalue().splitlines()]
+        assert record["status"] == "error"
+        assert record["error"] == "preset"
+
     def test_inactive_timeline_is_transparent(self):
         assert not obs.timeline_active()
         obs.emit("ignored")

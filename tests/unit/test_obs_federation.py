@@ -1,0 +1,180 @@
+"""Metrics federation: snapshot flushing, envelope versioning, merge
+semantics (counter sums, histogram bucket sums, per-worker gauges) and
+the federated exposition body."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import federation
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_timeline(None)
+    yield
+    obs.reset()
+    obs.set_timeline(None)
+
+
+def _registry_with(counter=0, gauge=None, observe=()):
+    obs.enable()  # recording no-ops while the obs flag is off
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("cells_total", "Cells.", ("outcome",)).inc(
+            counter, outcome="executed")
+    if gauge is not None:
+        registry.gauge("queue_depth", "Depth.").set(gauge)
+    histogram = registry.histogram("cell_seconds", "Seconds.",
+                                   buckets=(0.1, 1.0))
+    for value in observe:
+        histogram.observe(value)
+    return registry
+
+
+class TestSnapshotFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        obs.enable()
+        registry = _registry_with(counter=3)
+        path = federation.write_snapshot(tmp_path, "w1", seq=2,
+                                         registry=registry)
+        assert path == tmp_path / "w1" / "metrics.json"
+        envelopes = federation.read_snapshots(tmp_path)
+        assert set(envelopes) == {"w1"}
+        envelope = envelopes["w1"]
+        assert envelope["federation_version"] == 1
+        assert envelope["seq"] == 2
+        assert envelope["snapshot"]["snapshot_version"] == 1
+
+    def test_read_skips_malformed_files(self, tmp_path):
+        (tmp_path / "bad").mkdir(parents=True)
+        (tmp_path / "bad" / "metrics.json").write_text("{half a doc")
+        assert federation.read_snapshots(tmp_path) == {}
+
+    def test_read_rejects_foreign_version(self, tmp_path):
+        (tmp_path / "w1").mkdir(parents=True)
+        (tmp_path / "w1" / "metrics.json").write_text(
+            json.dumps({"federation_version": 99, "worker": "w1",
+                        "snapshot": {}}))
+        with pytest.raises(ValueError, match="federation_version"):
+            federation.read_snapshots(tmp_path)
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert federation.read_snapshots(tmp_path / "nope") == {}
+
+    def test_flusher_writes_final_snapshot_on_stop(self, tmp_path):
+        obs.enable()
+        registry = _registry_with(counter=1)
+        flusher = federation.SnapshotFlusher(tmp_path, "w1",
+                                             interval=60.0,
+                                             registry=registry)
+        flusher.start()
+        flusher.stop()
+        envelopes = federation.read_snapshots(tmp_path)
+        assert "w1" in envelopes
+        metrics = envelopes["w1"]["snapshot"]["metrics"]
+        assert metrics["cells_total"]["samples"][0]["value"] == 1
+
+
+class TestMerge:
+    def _envelopes(self, tmp_path, specs):
+        obs.enable()
+        for worker, registry in specs.items():
+            federation.write_snapshot(tmp_path, worker, registry=registry)
+        return federation.read_snapshots(tmp_path)
+
+    def test_counters_sum_into_total(self, tmp_path):
+        merged = federation.merge_snapshots(self._envelopes(tmp_path, {
+            "w1": _registry_with(counter=3),
+            "w2": _registry_with(counter=5),
+        }))
+        samples = {s["labels"]["worker"]: s["value"]
+                   for s in merged["cells_total"]["samples"]}
+        assert samples == {"w1": 3.0, "w2": 5.0, "_total": 8.0}
+        assert merged["cells_total"]["labelnames"] == ["outcome", "worker"]
+
+    def test_histogram_buckets_sum_per_bound(self, tmp_path):
+        merged = federation.merge_snapshots(self._envelopes(tmp_path, {
+            "w1": _registry_with(observe=(0.05, 0.5)),
+            "w2": _registry_with(observe=(0.5, 5.0)),
+        }))
+        by_worker = {s["labels"]["worker"]: s
+                     for s in merged["cell_seconds"]["samples"]}
+        total = by_worker["_total"]
+        assert total["count"] == 4
+        assert total["sum"] == pytest.approx(6.05)
+        assert total["buckets"]["0.1"] == 1
+        assert total["buckets"]["1"] == 3
+        assert total["buckets"]["+Inf"] == 4
+
+    def test_gauges_stay_per_worker_only(self, tmp_path):
+        merged = federation.merge_snapshots(self._envelopes(tmp_path, {
+            "w1": _registry_with(gauge=4),
+            "w2": _registry_with(gauge=9),
+        }))
+        workers = [s["labels"]["worker"]
+                   for s in merged["queue_depth"]["samples"]]
+        assert sorted(workers) == ["w1", "w2"]  # no "_total" aggregate
+
+    def test_merge_empty_is_empty(self):
+        assert federation.merge_snapshots({}) == {}
+
+
+class TestFederatedExposition:
+    def test_body_has_one_header_block_and_worker_series(self, tmp_path):
+        obs.enable()
+        # The "coordinator" registry shares a metric name with the workers.
+        obs.counter("cells_total", "Cells.", ("outcome",)).inc(
+            2, outcome="executed")
+        federation.write_snapshot(tmp_path, "w1",
+                                  registry=_registry_with(counter=3))
+        fed = federation.Federation(tmp_path)
+        body = fed.render_prometheus()
+        assert body.count("# TYPE cells_total counter") == 1
+        assert 'cells_total{outcome="executed"} 2' in body
+        assert 'cells_total{outcome="executed",worker="w1"} 3' in body
+        assert 'cells_total{outcome="executed",worker="_total"} 3' in body
+
+    def test_histogram_text_lines_are_cumulative(self, tmp_path):
+        obs.enable()
+        federation.write_snapshot(
+            tmp_path, "w1", registry=_registry_with(observe=(0.05, 0.5)))
+        body = federation.Federation(tmp_path).render_prometheus()
+        assert 'cell_seconds_bucket{worker="w1",le="0.1"} 1' in body
+        assert 'cell_seconds_bucket{worker="w1",le="1"} 2' in body
+        assert 'cell_seconds_bucket{worker="w1",le="+Inf"} 2' in body
+        assert 'cell_seconds_count{worker="w1"} 2' in body
+
+    def test_snapshot_document_carries_federation_section(self, tmp_path):
+        obs.enable()
+        federation.write_snapshot(tmp_path, "w1",
+                                  registry=_registry_with(counter=1))
+        document = federation.Federation(tmp_path).snapshot()
+        assert document["snapshot_version"] == 1
+        section = document["federation"]
+        assert section["federation_version"] == 1
+        assert "w1" in section["workers"]
+        assert section["workers"]["w1"]["age_seconds"] >= 0
+        assert "cells_total" in section["metrics"]
+
+    def test_obs_server_serves_federated_metrics(self, tmp_path):
+        from urllib.request import urlopen
+
+        obs.enable()
+        federation.write_snapshot(tmp_path, "w1",
+                                  registry=_registry_with(counter=7))
+        obs.set_federation(federation.Federation(tmp_path))
+        with obs.ObsServer(port=0) as server:
+            with urlopen(f"http://127.0.0.1:{server.port}/metrics",
+                         timeout=5.0) as response:
+                body = response.read().decode("utf-8")
+            with urlopen(f"http://127.0.0.1:{server.port}/snapshot",
+                         timeout=5.0) as response:
+                snapshot = json.loads(response.read().decode("utf-8"))
+        assert 'cells_total{outcome="executed",worker="w1"} 7' in body
+        assert snapshot["federation"]["metrics"]["cells_total"]

@@ -72,6 +72,44 @@ class TestObsServer:
         assert "live_total 1" in first
         assert "live_total 10" in second
 
+    def test_concurrent_scrapes_under_registry_mutation(self, server):
+        import threading
+
+        obs.enable()
+        counter = obs.counter("churn_total", "c", ("kind",))
+        histogram = obs.histogram("churn_seconds", "c")
+        stop = threading.Event()
+        errors = []
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                counter.inc(kind=f"k{i % 7}")
+                histogram.observe(i * 0.01)
+                i += 1
+
+        def scrape():
+            try:
+                for _ in range(20):
+                    with _get(server, "/metrics") as response:
+                        body = response.read().decode("utf-8")
+                    assert "# TYPE churn_total counter" in body
+                    with _get(server, "/snapshot") as response:
+                        json.loads(response.read().decode("utf-8"))
+            except Exception as exc:  # propagate into the main thread
+                errors.append(exc)
+
+        mutator = threading.Thread(target=mutate)
+        scrapers = [threading.Thread(target=scrape) for _ in range(4)]
+        mutator.start()
+        for thread in scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join()
+        stop.set()
+        mutator.join()
+        assert errors == []
+
     def test_shutdown_is_idempotent_and_releases_port(self):
         server = obs.start_server(port=0)
         port = server.port
