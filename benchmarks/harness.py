@@ -717,13 +717,18 @@ def compare_to_baseline(
     normalized score falls below ``baseline * (1 - tolerance)``.
 
     Scenarios absent from the baseline are skipped (new benchmarks must not
-    fail CI until a baseline for them is committed).  Wall-time-only
+    fail CI until a baseline for them is committed), as are entries whose
+    recorded mode differs from the run's (a quick result against a
+    full-size baseline compares different problem sizes — each mode only
+    gates against a baseline captured in the same mode).  Wall-time-only
     scenarios (``events == 0``) compare inverse wall time instead.
     """
     comparisons: list[Comparison] = []
     for result in results:
         recorded = baseline.get(result.name)
         if recorded is None:
+            continue
+        if bool(recorded.get("quick", False)) != bool(result.quick):
             continue
         base_score = float(recorded.get("normalized_score", 0.0))
         cur_score = result.normalized_score

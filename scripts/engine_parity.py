@@ -54,11 +54,18 @@ def main(argv: list[str] | None = None) -> int:
     reports = check_parity(engines=engines)
     failed = [report for report in reports if not report.ok]
     batched_runs = 0
+    consumed_runs = 0
     for report in reports:
         modes = {run.engine: run.dispatch_mode for run in report.runs}
         batched_runs += sum(1 for mode in modes.values() if mode == "batched")
+        consumed_runs += sum(
+            1 for run in report.runs if run.consume_mode == "batched"
+        )
         verdict = "ok" if report.ok else "MISMATCH " + ",".join(report.mismatched)
-        print(f"{report.name:24s} {verdict}  modes={modes}")
+        consumes = {run.engine: run.consume_mode for run in report.runs
+                    if run.consume_mode is not None}
+        print(f"{report.name:24s} {verdict}  modes={modes}  "
+              f"consume={consumes}")
 
     if failed:
         args.artifacts.mkdir(parents=True, exist_ok=True)
@@ -75,8 +82,15 @@ def main(argv: list[str] | None = None) -> int:
               "— the parity gate would be vacuous")
         return 1
 
+    if consumed_runs == 0:
+        print("FAIL: no compared backend ever activated the batched receiver "
+              "(consume_mode == 'batched') — its parity coverage would be "
+              "vacuous")
+        return 1
+
     print(f"parity OK: {len(reports)} scenarios, "
-          f"{batched_runs} batched backend runs")
+          f"{batched_runs} batched backend runs, "
+          f"{consumed_runs} batched-receiver runs")
     return 0
 
 

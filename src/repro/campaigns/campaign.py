@@ -12,8 +12,11 @@ A :class:`Campaign` binds a declarative
   same configuration);
 * the remainder is sharded over
   :class:`~repro.experiments.batch.BatchRunner` (``parallel=N`` fans shards
-  over the process pool) and every result is persisted the moment it
-  completes, so a SIGKILL loses at most the simulations in flight;
+  over the process pool) and completed results are persisted through a
+  small flush buffer (:data:`_PERSIST_FLUSH_EVERY` cells batched into one
+  :meth:`~repro.campaigns.store.ResultStore.put_many` transaction), so a
+  SIGKILL loses at most the simulations in flight plus one buffer's worth
+  of finished ones;
 * re-running the same campaign resumes exactly where it stopped: the cells
   persisted before the kill are hits, and only the missing ones execute.
 
@@ -45,6 +48,12 @@ from .store import ResultStore, StoredRow
 
 #: ``progress(done, total, item)`` over the *pending* (not cached) cells.
 ProgressCallback = Callable[[int, int, SuiteItem], None]
+
+#: Completed results buffered before a :meth:`ResultStore.put_many` flush.
+#: Small on purpose: a SIGKILL loses at most the simulations in flight
+#: plus this many already-finished ones, while the batch write amortises
+#: the per-cell index commit (one transaction instead of eight).
+_PERSIST_FLUSH_EVERY = 8
 
 
 @dataclass(frozen=True)
@@ -104,10 +113,11 @@ class Campaign:
     parallel:
         Worker processes per shard (see :class:`BatchRunner`).
     shard_size:
-        Cells per checkpointed shard.  Results are persisted per-completion
-        either way; the shard boundary only bounds how much of a
-        :class:`SuiteResult` is held in memory at once.  Defaults to
-        ``max(4 * parallel, 16)``.
+        Cells per checkpointed shard.  Results are flushed to the store in
+        small :meth:`~repro.campaigns.store.ResultStore.put_many` batches
+        either way (and always at the shard boundary); the shard boundary
+        additionally bounds how much of a :class:`SuiteResult` is held in
+        memory at once.  Defaults to ``max(4 * parallel, 16)``.
     worker_plugins:
         Modules each worker imports first (third-party registrations).
     """
@@ -201,11 +211,21 @@ class Campaign:
 
         failures: list[BatchFailure] = []
         done = 0
+        buffered: list[tuple[str, ScenarioResult]] = []
+
+        def flush_buffered() -> None:
+            if not buffered:
+                return
+            keys_, results_ = zip(*buffered)
+            with obs.phase("persist", campaign=self.name,
+                           cells=len(buffered)):
+                self.store.put_many(results_, cell_keys=keys_)
+            buffered.clear()
 
         def persist(item: SuiteItem, result: ScenarioResult) -> None:
-            with obs.phase("persist", campaign=self.name,
-                           cell_key=pending_keys[item.index]):
-                self.store.put(result, cell_key=pending_keys[item.index])
+            buffered.append((pending_keys[item.index], result))
+            if len(buffered) >= _PERSIST_FLUSH_EVERY:
+                flush_buffered()
 
         for shard_start in range(0, len(pending), self.shard_size):
             shard = pending[shard_start:shard_start + self.shard_size]
@@ -222,9 +242,15 @@ class Campaign:
                 on_result=persist,
                 worker_plugins=self.worker_plugins,
             )
-            with obs.phase("execute", campaign=self.name,
-                           shard_start=shard_start, cells=len(shard)):
-                outcome = runner.run(shard)
+            try:
+                with obs.phase("execute", campaign=self.name,
+                               shard_start=shard_start, cells=len(shard)):
+                    outcome = runner.run(shard)
+            finally:
+                # Results buffered when the shard ends (or dies) must land
+                # before anything else happens — the completion counters
+                # and the resume guarantee both read straight off the store.
+                flush_buffered()
             done += len(shard)
             for failure in outcome.failures:
                 # Batch positions are shard-relative; report suite positions.

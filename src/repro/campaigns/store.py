@@ -508,6 +508,57 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # results
     # ------------------------------------------------------------------ #
+    _INSERT_RESULT_SQL = """
+        INSERT OR REPLACE INTO results (
+            cell_key, name, algorithm, channel_type, detector_setup,
+            workload, n_processes, n_crashes, seed, loss_kind,
+            loss_level, delay_kind, explore_strategy, explore_index,
+            all_hold, quiescent, anonymity_passed, stop_reason,
+            final_time, mean_latency, total_sends, deliveries,
+            schedule_strategy, schedule_hash, schema_version,
+            created_at, wall_time
+        ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
+                  ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+    """
+
+    @staticmethod
+    def _index_params(result: "ScenarioResult", key: str,
+                      created_at: float) -> tuple:
+        """The :data:`_INSERT_RESULT_SQL` parameter tuple for one result."""
+        scenario = result.scenario
+        provenance = result.simulation.schedule
+        summary = result.metrics
+        return (
+            key,
+            scenario.name,
+            scenario.algorithm,
+            scenario.channel_type,
+            scenario.detector_setup,
+            scenario.workload if isinstance(scenario.workload, str)
+            else None,
+            scenario.n_processes,
+            scenario.n_crashes,
+            scenario.seed,
+            scenario.loss.kind,
+            _loss_level(scenario),
+            scenario.delay.kind,
+            scenario.explore_strategy,
+            scenario.explore_index,
+            int(result.all_properties_hold),
+            int(result.quiescence.quiescent),
+            int(result.anonymity.passed),
+            result.simulation.stop_reason,
+            float(result.simulation.final_time),
+            summary.mean_latency,
+            summary.total_sends,
+            summary.deliveries,
+            provenance.strategy if provenance is not None else "default",
+            provenance.schedule_hash if provenance is not None else "",
+            SCHEMA_VERSION,
+            created_at,
+            result.wall_time,
+        )
+
     def put(self, result: "ScenarioResult", *,
             cell_key: Optional[str] = None) -> StoredRow:
         """Persist one finished scenario result; returns its index row.
@@ -516,69 +567,55 @@ class ResultStore:
         guarantees the payload is equivalent, so this is only reachable via
         an explicit ``recompute``).
         """
-        scenario = result.scenario
-        key = cell_key or scenario_cell_key(scenario)
-        provenance = result.simulation.schedule
-        payload = {
-            "schema_version": SCHEMA_VERSION,
-            "cell_key": key,
-            "scenario": canonical_scenario_dict(scenario),
-            "result": scenario_result_to_dict(result),
-            "created_at": time.time(),
-        }
-        self._write_blob(key, payload)
-        summary = result.metrics
-        with self._db:
-            self._db.execute(
-                """
-                INSERT OR REPLACE INTO results (
-                    cell_key, name, algorithm, channel_type, detector_setup,
-                    workload, n_processes, n_crashes, seed, loss_kind,
-                    loss_level, delay_kind, explore_strategy, explore_index,
-                    all_hold, quiescent, anonymity_passed, stop_reason,
-                    final_time, mean_latency, total_sends, deliveries,
-                    schedule_strategy, schedule_hash, schema_version,
-                    created_at, wall_time
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    key,
-                    scenario.name,
-                    scenario.algorithm,
-                    scenario.channel_type,
-                    scenario.detector_setup,
-                    scenario.workload if isinstance(scenario.workload, str)
-                    else None,
-                    scenario.n_processes,
-                    scenario.n_crashes,
-                    scenario.seed,
-                    scenario.loss.kind,
-                    _loss_level(scenario),
-                    scenario.delay.kind,
-                    scenario.explore_strategy,
-                    scenario.explore_index,
-                    int(result.all_properties_hold),
-                    int(result.quiescence.quiescent),
-                    int(result.anonymity.passed),
-                    result.simulation.stop_reason,
-                    float(result.simulation.final_time),
-                    summary.mean_latency,
-                    summary.total_sends,
-                    summary.deliveries,
-                    provenance.strategy if provenance is not None else "default",
-                    provenance.schedule_hash if provenance is not None else "",
-                    SCHEMA_VERSION,
-                    payload["created_at"],
-                    result.wall_time,
-                ),
-            )
-            self.puts += 1
-            self._flush_stats_locked()
-        self._count_put(key)
-        row = self.get(cell_key=key, count=False)
-        assert row is not None
-        return row
+        keys = None if cell_key is None else [cell_key]
+        return self.put_many([result], cell_keys=keys)[0]
+
+    def put_many(self, results: Sequence["ScenarioResult"], *,
+                 cell_keys: Optional[Sequence[str]] = None) -> list[StoredRow]:
+        """Persist a batch of finished results in one index transaction.
+
+        Every blob is written (and atomically renamed into place) first,
+        then all index rows land in a *single* transaction — the same
+        blob-before-row durability order as :meth:`put`, but with one
+        commit fsync amortised over the whole batch.  A SIGKILL mid-batch
+        therefore leaves fully recorded cells for the committed rows and,
+        at worst, orphan blobs for the rest (:meth:`gc` removes those);
+        never an index row without its blob.
+        """
+        results = list(results)
+        if cell_keys is None:
+            keys = [scenario_cell_key(result.scenario) for result in results]
+        else:
+            keys = [str(key) for key in cell_keys]
+            if len(keys) != len(results):
+                raise StoreError(
+                    f"put_many got {len(results)} results but "
+                    f"{len(keys)} cell keys"
+                )
+        params: list[tuple] = []
+        for result, key in zip(results, keys):
+            payload = {
+                "schema_version": SCHEMA_VERSION,
+                "cell_key": key,
+                "scenario": canonical_scenario_dict(result.scenario),
+                "result": scenario_result_to_dict(result),
+                "created_at": time.time(),
+            }
+            self._write_blob(key, payload)
+            params.append(self._index_params(result, key,
+                                             payload["created_at"]))
+        if params:
+            with self._db:
+                self._db.executemany(self._INSERT_RESULT_SQL, params)
+                self.puts += len(params)
+                self._flush_stats_locked()
+        rows: list[StoredRow] = []
+        for key in keys:
+            self._count_put(key)
+            row = self.get(key, count=False)
+            assert row is not None
+            rows.append(row)
+        return rows
 
     def _count_put(self, cell_key: str) -> None:
         if obs.enabled():

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Protocol, runtime_checkable
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 from ..failure_detectors.base import FailureDetectorView
 from .delivery import DeliveryLog
@@ -25,6 +25,59 @@ from .messages import TaggedMessage
 
 #: Callback invoked with the application content of each URB-delivery.
 DeliveryListener = Callable[[Any], None]
+
+#: ``(now) -> (view, valid_until)``: the process's current AΘ view plus the
+#: first time at which that view may change (``inf`` for static views).
+#: Bound per process by the engine; see ``FailureDetector.view_window``.
+ViewWindow = Callable[[float], tuple[FailureDetectorView, float]]
+
+
+@runtime_checkable
+class BatchConsumer(Protocol):
+    """Struct-of-arrays receiver of one process, used by the vectorized
+    engine's batched delivery path.
+
+    A consumer replaces the per-payload ``on_receive`` dispatch for maximal
+    *runs* of channel deliveries between queue events.  The engine hands ACK
+    receptions to :meth:`consume_acks` grouped per destination (integer id
+    arrays, no boxing) and replays the rare MSG receptions one at a time
+    through :meth:`handle_msg` in global run order — MSG handling draws tags
+    and broadcasts, so its RNG/sequence consumption must interleave exactly
+    as the reference engine's.  The contract is bit-identical observable
+    state: delivery logs, protocol state dicts (after :meth:`flush`), and
+    the positions at which deliveries fire.
+    """
+
+    #: Whether :meth:`consume_acks` evaluates failure-detector views (the
+    #: engine then requires a detector with stable view windows).
+    needs_views: bool
+
+    #: ``message -> run position`` of deliveries made by the current run's
+    #: ACK phase; the engine clears it after emitting deferred deliveries.
+    run_delivered_pos: dict
+
+    def consume_acks(self, pids, positions, times) -> list:
+        """Consume one run's ACK receptions addressed to this process.
+
+        ``pids``/``positions``/``times`` are equal-length arrays in run
+        order.  Applies all protocol state updates and returns the resulting
+        URB-deliveries as ``(run_position, message)`` pairs sorted by
+        position (delivery log already appended; trace/metrics emission is
+        the engine's job).
+        """
+        ...
+
+    def handle_msg(self, payload: Any, position: int) -> None:
+        """Handle one MSG reception at run position *position* exactly as
+        the per-event path would (including its URB-delivered check against
+        deliveries made later in the same run)."""
+        ...
+
+    def flush(self) -> None:
+        """Materialise lazily-maintained protocol state dicts so that
+        per-event code (tick handlers, post-run introspection) reads exactly
+        what the reference engine would have left there."""
+        ...
 
 
 @runtime_checkable
@@ -118,6 +171,23 @@ class BroadcastProtocol(abc.ABC):
         self.env.notify_delivery(message)
         for listener in self._listeners:
             listener(message.content)
+
+    # ------------------------------------------------------------------ #
+    # batched receiver (vectorized engine fast path)
+    # ------------------------------------------------------------------ #
+    def batch_consumer(self, interner: Any,
+                       view_window: "ViewWindow") -> Optional["BatchConsumer"]:
+        """Return a :class:`BatchConsumer` for this process, or ``None``.
+
+        ``None`` (the default) means the protocol has no batched receiver
+        and the engine must box every delivery back through
+        :meth:`on_receive`.  Implementations receive the run-wide
+        :class:`~repro.core.state.PayloadInterner` and a per-process
+        ``view_window`` callable for AΘ reads.  Protocols whose consumer
+        cannot reproduce a configuration exactly (e.g. Algorithm 2 under
+        ``strict_equality``) must return ``None`` for it.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # introspection used by the engine and the analysis layer

@@ -73,6 +73,11 @@ class EngineRun:
     #: not report one, e.g. ``reference``).
     dispatch_mode: Optional[str]
     fingerprint: dict[str, Any]
+    #: How the batched path consumed deliveries (``"batched"`` = unboxed
+    #: struct-of-arrays consumption through BatchConsumers, ``"boxed"`` =
+    #: per-entry boxing through ``on_receive``); ``None`` for backends /
+    #: paths that do not report one.
+    consume_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,7 @@ class ParityReport:
                 {
                     "engine": run.engine,
                     "dispatch_mode": run.dispatch_mode,
+                    "consume_mode": run.consume_mode,
                     **{key: run.fingerprint[key] for key in self.mismatched},
                 }
                 for run in self.runs
@@ -144,6 +150,7 @@ def run_fingerprint(
         engine=engine,
         dispatch_mode=getattr(built, "dispatch_mode", None),
         fingerprint=fp,
+        consume_mode=getattr(built, "consume_mode", None),
     )
 
 
@@ -215,6 +222,11 @@ def parity_cases() -> tuple[Scenario, ...]:
                    metadata={"burst_size": 2}),
         # Crashes interleaved with the fast path.
         base.with_(name="crashes-mid-run", crashes={4: 3.0, 5: 9.0}),
+        # Staggered label learning: ACKs of one message carry different
+        # label sets while AΘ converges, driving the batched receiver's
+        # view segmentation and its per-message debatch escape hatch.
+        base.with_(name="staggered-learning", fd_learn_delay=6.0,
+                   crashes={5: 4.0}),
         # Algorithm 1 (no failure detectors, no labels).
         base.with_(name="algorithm1", algorithm="algorithm1",
                    stop_when_quiescent=False,

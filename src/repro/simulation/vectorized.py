@@ -68,6 +68,8 @@ import numpy as np
 
 from .. import obs
 from ..core.messages import payload_kind
+from ..core.state import PayloadInterner
+from ..failure_detectors.base import FailureDetectorView
 from ..network.channel import LossyChannel
 from ..network.delay import BatchedUniformDelay, FixedDelay, UniformDelay
 from ..network.loss import BernoulliLoss, NoLoss
@@ -75,6 +77,7 @@ from ..network.reliable import QuasiReliableChannel, ReliableChannel
 from .engine import SimulationEngine, SimulationResult
 from .events import EventKind
 from .simtime import SimTime
+from .tracing import TraceCategory
 
 #: Prefetched draws per channel block.  Public so tests can shrink it to
 #: force mid-run refills; any value produces identical results (each
@@ -103,6 +106,12 @@ _BOUNDED_TRANSMITS = (
 _CHUNK_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
                   512.0, 1024.0)
 
+#: Buckets of the batched-receiver consume-width histogram: entries handed
+#: to one ``consume_acks`` call (per destination, per run).  Runs between
+#: queue events span thousands of entries during ACK storms.
+_CONSUME_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0,
+                    65536.0)
+
 
 class _Chunk:
     """One broadcast's delivered fan-out as a time-sorted ``(3, k)`` array.
@@ -112,15 +121,33 @@ class _Chunk:
     (average fan-outs are a few dozen entries; separate per-column arrays
     would triple the object overhead, which dominates at that size).
     ``start`` indexes the first entry not yet handed to the dispatch loop;
-    the columns themselves are immutable once built.
+    the columns themselves are immutable once built.  ``pid`` is the
+    payload's interned id when the batched receiver is active (``-1``
+    otherwise): the id-space through which the consumers classify and
+    duplicate-suppress deliveries without touching the payload object.
     """
 
-    __slots__ = ("cols", "payload", "start")
+    __slots__ = ("cols", "payload", "start", "pid")
 
-    def __init__(self, cols: np.ndarray, payload: Any) -> None:
+    def __init__(self, cols: np.ndarray, payload: Any, pid: int = -1) -> None:
         self.cols = cols
         self.payload = payload
         self.start = 0
+        self.pid = pid
+
+
+def _refill_uniform_column(block: np.ndarray, column: int, random) -> None:
+    """Refill one prefetch column with sequential ``random()`` draws.
+
+    ``np.fromiter`` consumes the generator straight into the preallocated
+    buffer — no transient list of boxed floats — while still calling
+    ``random()`` exactly ``len(block)`` times in order, so each per-channel
+    stream is consumed decision-for-decision as the reference path would.
+    """
+    n = block.shape[0]
+    block[:, column] = np.fromiter(
+        (random() for _ in range(n)), np.float64, count=n
+    )
 
 
 class _RowSampler:
@@ -145,7 +172,7 @@ class _RowSampler:
     __slots__ = (
         "network", "src", "dsts", "dst_arr", "channels", "m",
         "vector", "probability", "no_drop", "fairness_bound", "guards",
-        "loss_rngs", "loss_drops", "loss_cursor",
+        "loss_rngs", "loss_block", "loss_drops", "loss_cursor",
         "delay_fixed", "delay_low", "delay_span", "delay_rngs",
         "delay_u", "delay_cursors",
         "broadcasts", "dropped_counts", "forced_counts", "any_guard",
@@ -174,6 +201,7 @@ class _RowSampler:
             self.any_guard = any(self.guards)
             self.dropped_counts = np.zeros(m, dtype=np.int64)
             self.forced_counts = np.zeros(m, dtype=np.int64)
+            self.loss_block = None
             self.loss_drops = None
             self.loss_cursor = 0
             if not self.no_drop:
@@ -322,18 +350,21 @@ class _RowSampler:
                 del guard[key]
 
     def _refill_loss(self) -> np.ndarray:
-        block = np.empty((SAMPLE_BLOCK, self.m), dtype=np.float64)
+        block = self.loss_block
+        if block is None:
+            block = self.loss_block = np.empty(
+                (SAMPLE_BLOCK, self.m), dtype=np.float64
+            )
+            self.loss_drops = np.empty((SAMPLE_BLOCK, self.m), dtype=bool)
         for j, rng in enumerate(self.loss_rngs):
-            random = rng.random
-            block[:, j] = [random() for _ in range(SAMPLE_BLOCK)]
-        drops = block < self.probability
-        self.loss_drops = drops
+            _refill_uniform_column(block, j, rng.random)
+        np.less(block, self.probability, out=self.loss_drops)
         self.loss_cursor = 0
-        return drops
+        return self.loss_drops
 
     def _refill_delay(self, column: int) -> None:
-        random = self.delay_rngs[column].random
-        self.delay_u[:, column] = [random() for _ in range(SAMPLE_BLOCK)]
+        _refill_uniform_column(self.delay_u, column,
+                               self.delay_rngs[column].random)
         self.delay_cursors[column] = 0
 
     def _broadcast_generic(self, payload: Any, now: SimTime,
@@ -399,6 +430,14 @@ class VectorizedEngine(SimulationEngine):
     #: took.  ``None`` until :meth:`run` is called.
     dispatch_mode: Optional[str] = None
 
+    #: How the batched path consumed deliveries: ``"batched"`` — unboxed,
+    #: straight from the chunk columns into the per-process
+    #: :class:`~repro.core.interfaces.BatchConsumer`\ s; ``"boxed"`` — the
+    #: segmented ``tolist()`` path through ``on_receive`` (protocols without
+    #: a consumer, delivery listeners, unstable failure-detector windows, or
+    #: no positive minimum delay).  ``None`` on the per-event fallback.
+    consume_mode: Optional[str] = None
+
     engine_label = "vectorized"
 
     def _batchable(self) -> bool:
@@ -428,7 +467,8 @@ class VectorizedEngine(SimulationEngine):
             if obs.enabled():
                 obs.counter(
                     "repro_engine_fallback_total",
-                    "Vectorized runs forced onto the per-event loop.",
+                    "Vectorized runs that fell back to a slower dispatch "
+                    "path, by reason.",
                     ("reason",),
                 ).inc(reason=reason)
             if obs.timeline_active():
@@ -475,7 +515,11 @@ class VectorizedEngine(SimulationEngine):
                 "Copies per batched delivery chunk.",
                 buckets=_CHUNK_BUCKETS,
             ).observe(k)
-        chunk = _Chunk(cols, payload)
+        interner = self._interner
+        if interner is None:
+            chunk = _Chunk(cols, payload)
+        else:
+            chunk = _Chunk(cols, payload, interner.pid_for(payload))
         heappush(self._chunk_heap,
                  (float(cols[0, 0]), int(cols[1, 0]), chunk))
 
@@ -529,16 +573,51 @@ class VectorizedEngine(SimulationEngine):
         self._row_samplers: list[Optional[_RowSampler]] = (
             [None] * self.config.n_processes
         )
+        self._interner = None
+        self._consumers = None
         self._fast_active = True
         try:
             self._seed_initial_events()
             window = self._min_delay_window()
-            if window > 0.0:
+            consumers = self._build_consumers() if window > 0.0 else None
+            if consumers is not None:
+                self.consume_mode = "batched"
+                if obs.enabled():
+                    self._batched_consumed_counter = obs.counter(
+                        "repro_engine_batched_consumed_total",
+                        "Delivery-run entries consumed unboxed through the "
+                        "batched receiver.",
+                    )
+                    self._consume_width_hist = obs.histogram(
+                        "repro_engine_consume_width",
+                        "ACK receptions handed to one consume_acks call.",
+                        buckets=_CONSUME_BUCKETS,
+                    )
+                if obs.timeline_active():
+                    obs.emit("engine.consume_mode", engine=self.engine_label,
+                             mode="batched")
+                receive_count, deliver_count = (
+                    self._merge_sliced_consumed(window)
+                )
+                for consumer in consumers:
+                    consumer.flush()
+            elif window > 0.0:
+                self.consume_mode = "boxed"
                 receive_count, deliver_count = self._merge_sliced(window)
             else:
+                self.consume_mode = "boxed"
+                if obs.enabled():
+                    obs.counter(
+                        "repro_engine_fallback_total",
+                        "Vectorized runs that fell back to a slower "
+                        "dispatch path, by reason.",
+                        ("reason",),
+                    ).inc(reason="no_positive_min_delay")
                 receive_count, deliver_count = self._merge_per_entry()
         finally:
             self._fast_active = False
+            self._batched_consumed_counter = None
+            self._consume_width_hist = None
         # Flush the aggregate bookkeeping the batched loop deferred; every
         # value lands exactly where the per-event loop would have left it.
         metrics = self.metrics
@@ -617,6 +696,337 @@ class VectorizedEngine(SimulationEngine):
             payloads[pos:pos + count] = payload
             pos += count
         return merged[:, order], payloads[order]
+
+    # ------------------------------------------------------------------ #
+    # batched receiver (unboxed consumption through BatchConsumers)
+    # ------------------------------------------------------------------ #
+    def _build_consumers(self) -> Optional[list]:
+        """Build one :class:`BatchConsumer` per process, or ``None``.
+
+        ``None`` demotes the run to the boxed slice loop.  Requirements:
+        every process supplies a consumer (baseline protocols and
+        ``strict_equality`` Algorithm 2 do not), no delivery listeners are
+        attached (listeners observe per-reception ordering), and — when any
+        consumer evaluates failure-detector views — the AΘ oracle reports
+        stable view-validity windows.
+        """
+        interner = PayloadInterner()
+        consumers = []
+        needs_views = False
+        for index in range(self.config.n_processes):
+            process = self.processes[index]
+            if process._listeners:
+                return None
+            consumer = process.batch_consumer(
+                interner, self._atheta_window_for(index)
+            )
+            if consumer is None:
+                return None
+            consumers.append(consumer)
+            needs_views = needs_views or consumer.needs_views
+        if needs_views and self.atheta is not None \
+                and not self.atheta.has_stable_view_windows:
+            return None
+        self._interner = interner
+        self._consumers = consumers
+        return consumers
+
+    def _atheta_window_for(self, index: int):
+        """Per-process ``now -> (view, valid_until)`` AΘ reader."""
+        detector = self.atheta
+        if detector is None:
+            empty = FailureDetectorView.empty()
+            inf = float("inf")
+            return lambda now, _e=empty, _i=inf: (_e, _i)
+        view_window = detector.view_window
+        return lambda now: view_window(index, now)
+
+    def _gather_slice_pids(self, w1: float) -> tuple:
+        """:meth:`_gather_slice`, returning interned pids instead of
+        payload objects: ``(cols, pids)`` with ``pids`` an int64 array
+        aligned with the merged columns (``None, None`` when empty)."""
+        chunks = self._chunk_heap
+        parts = []
+        pid_parts = []
+        while chunks and chunks[0][0] < w1:
+            _, _, chunk = heappop(chunks)
+            cols = chunk.cols
+            times = cols[0]
+            start = chunk.start
+            split = start + int(
+                np.searchsorted(times[start:], w1, side="left")
+            )
+            parts.append(cols[:, start:split])
+            pid_parts.append((chunk.pid, split - start))
+            if split < cols.shape[1]:
+                chunk.start = split
+                heappush(chunks,
+                         (float(times[split]), int(cols[1, split]), chunk))
+        if not parts:
+            return None, None
+        if len(parts) == 1:
+            cols = parts[0]
+            pids = np.full(cols.shape[1], pid_parts[0][0], dtype=np.int64)
+            return cols, pids
+        merged = np.concatenate(parts, axis=1)
+        order = np.lexsort((merged[1], merged[0]))
+        pids = np.empty(merged.shape[1], dtype=np.int64)
+        pos = 0
+        for pid, count in pid_parts:
+            pids[pos:pos + count] = pid
+            pos += count
+        return merged[:, order], pids[order]
+
+    def _merge_sliced_consumed(self, window: float) -> tuple[int, int]:
+        """Batched-receiver main loop.
+
+        Same slice geometry and ``(time, seq)`` total order as
+        :meth:`_merge_sliced`, but maximal *runs* of consecutive delivery
+        entries between queue events are consumed straight from the column
+        arrays by the per-process :class:`BatchConsumer`\\ s — no per-entry
+        boxing, no per-entry Python dispatch.  Queue events themselves are
+        dispatched exactly as the reference engine would, with a consumer
+        flush before each TICK (the only queue event that reads
+        lazily-maintained ACK state).
+        """
+        queue = self.queue
+        chunks = self._chunk_heap
+        max_time = self.config.max_time
+        dispatch = self._dispatch
+        recycle = queue.recycle
+        consumers = self._consumers
+        metrics_active = self.metrics.active
+        batched_counter = self._batched_consumed_counter
+        receive_count = 0
+        deliver_count = 0
+        next_entry = queue.peek()
+        stop = False
+        while not stop:
+            if chunks:
+                head_time = chunks[0][0]
+                if next_entry is not None and next_entry.time < head_time:
+                    w1 = next_entry.time + window
+                else:
+                    w1 = head_time + window
+            elif next_entry is not None:
+                w1 = next_entry.time + window
+            else:
+                break
+            cols, pids = self._gather_slice_pids(w1)
+            if cols is None:
+                n_w = 0
+                times = seqs = dsts = None
+            else:
+                n_w = cols.shape[1]
+                times = cols[0]
+                seqs = cols[1]
+                dsts = cols[2]
+            i = 0
+            while True:
+                if self._stop_requested:
+                    stop = True
+                    break
+                if i < n_w:
+                    # End of the run starting at i: the first entry not
+                    # preceding the next queue event in (time, seq) order.
+                    if next_entry is None:
+                        j = n_w
+                    else:
+                        et = next_entry.time
+                        if et > times[n_w - 1]:
+                            j = n_w
+                        else:
+                            j1 = i + int(np.searchsorted(
+                                times[i:], et, side="left"))
+                            j2 = i + int(np.searchsorted(
+                                times[i:], et, side="right"))
+                            if j1 < j2:
+                                # Seqs ascend within equal times, so the
+                                # tie-break is another binary search.
+                                j = j1 + int(np.searchsorted(
+                                    seqs[j1:j2], next_entry.seq,
+                                    side="left"))
+                            else:
+                                j = j1
+                    if j > i:
+                        truncate = None
+                        last = times[j - 1]
+                        deadline = self._stop_deadline
+                        if last > max_time or (
+                            deadline is not None and last >= deadline
+                        ):
+                            jh = i + int(np.searchsorted(
+                                times[i:j], max_time, side="right"))
+                            jd = j if deadline is None else i + int(
+                                np.searchsorted(times[i:j], deadline,
+                                                side="left"))
+                            if jh <= jd:
+                                j = jh
+                                truncate = "horizon"
+                            else:
+                                j = jd
+                                truncate = "deadline"
+                        if j > i:
+                            alive_n = self._consume_run(
+                                times, dsts, pids, i, j)
+                            if metrics_active:
+                                deliver_count += alive_n
+                            receive_count += j - i
+                            if batched_counter is not None:
+                                batched_counter.inc(j - i)
+                            self._batch_pending -= j - i
+                            self._now = float(times[j - 1])
+                            i = j
+                        if truncate is not None:
+                            if truncate == "horizon":
+                                self._stop_reason = "horizon"
+                            else:
+                                self._now = float(times[j])
+                            stop = True
+                            break
+                        continue
+                    # The next queue event precedes entry i.
+                    event = queue.pop()
+                    et = event.time
+                    if et > max_time:
+                        self._stop_reason = "horizon"
+                        stop = True
+                        break
+                    self._now = et
+                    deadline = self._stop_deadline
+                    if deadline is not None and et >= deadline:
+                        stop = True
+                        break
+                    if event.kind is EventKind.TICK and \
+                            event.target is not None:
+                        # on_tick reads the retire condition's counters.
+                        consumers[event.target].flush()
+                    dispatch(event)
+                    recycle(event)
+                    next_entry = queue.peek()
+                    continue
+                # Slice entries exhausted: drain queue events before the
+                # slice boundary, then advance to the next slice.
+                if next_entry is not None and next_entry.time < w1:
+                    event = queue.pop()
+                    et = event.time
+                    if et > max_time:
+                        self._stop_reason = "horizon"
+                        stop = True
+                        break
+                    self._now = et
+                    deadline = self._stop_deadline
+                    if deadline is not None and et >= deadline:
+                        stop = True
+                        break
+                    if event.kind is EventKind.TICK and \
+                            event.target is not None:
+                        consumers[event.target].flush()
+                    dispatch(event)
+                    recycle(event)
+                    next_entry = queue.peek()
+                    continue
+                break
+        return receive_count, deliver_count
+
+    def _consume_run(self, times: np.ndarray, dsts: np.ndarray,
+                     pids: np.ndarray, lo: int, hi: int) -> int:
+        """Consume run entries ``[lo, hi)`` through the batch consumers.
+
+        Two phases, exchangeable because ACK handling draws no randomness,
+        claims no sequence numbers and reads no MSG-written state:
+
+        * **Phase B** — ACK receptions, grouped per destination and handed
+          to ``consume_acks`` as unboxed id arrays (the hot path: ~97% of
+          receptions in an ACK storm).
+        * **Phase A** — MSG receptions, replayed one at a time in global
+          run order: each draws the acknowledgement tag from the process
+          RNG and broadcasts (claiming sequence numbers), so their RNG and
+          seq consumption interleaves exactly as the reference engine's.
+
+        URB-deliveries surfaced by Phase B are emitted afterwards sorted by
+        run position — before any later queue event can record a trace
+        entry — reproducing the reference trace/metrics order (at
+        DELIVERIES level nothing else records between queue events).
+        Returns the number of non-crashed receptions (metrics bookkeeping).
+        """
+        interner = self._interner
+        consumers = self._consumers
+        run_pids = pids[lo:hi]
+        run_dsts = dsts[lo:hi].astype(np.int64)
+        run_times = times[lo:hi]
+        n = hi - lo
+        crashed = self._crashed
+        if crashed:
+            alive = np.ones(n, dtype=bool)
+            for c in crashed:
+                alive &= run_dsts != c
+        else:
+            alive = None
+        kinds = interner.kind_arr[run_pids]
+        is_ack = kinds == PayloadInterner.KIND_ACK
+        if alive is None:
+            ack_idx = np.nonzero(is_ack)[0]
+            msg_idx = np.nonzero(~is_ack)[0]
+        else:
+            ack_idx = np.nonzero(is_ack & alive)[0]
+            msg_idx = np.nonzero(~is_ack & alive)[0]
+        deliveries: list = []
+        touched = None
+        width_hist = self._consume_width_hist
+        if ack_idx.size:
+            ack_dsts = run_dsts[ack_idx]
+            order = np.argsort(ack_dsts, kind="stable")
+            sorted_idx = ack_idx[order]
+            sorted_dsts = ack_dsts[order]
+            bounds = np.nonzero(sorted_dsts[1:] != sorted_dsts[:-1])[0] + 1
+            starts = np.concatenate(([0], bounds))
+            ends = np.concatenate((bounds, [sorted_dsts.shape[0]]))
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                dst = int(sorted_dsts[s])
+                group = sorted_idx[s:e]
+                if width_hist is not None:
+                    width_hist.observe(e - s)
+                got = consumers[dst].consume_acks(
+                    run_pids[group], group, run_times[group]
+                )
+                if got:
+                    if touched is None:
+                        touched = []
+                    touched.append(consumers[dst])
+                    for pos, message in got:
+                        deliveries.append((pos, dst, message))
+        if msg_idx.size:
+            payloads = interner.payloads
+            is_msg = kinds == PayloadInterner.KIND_MSG
+            processes = self.processes
+            for k in msg_idx.tolist():
+                self._now = run_times[k]
+                if is_msg[k]:
+                    consumers[int(run_dsts[k])].handle_msg(
+                        payloads[run_pids[k]], k
+                    )
+                else:  # pragma: no cover - no such payloads today
+                    processes[int(run_dsts[k])].on_receive(
+                        payloads[run_pids[k]]
+                    )
+        if deliveries:
+            if len(deliveries) > 1:
+                deliveries.sort()
+            metrics = self.metrics
+            metrics_active = metrics.active
+            trace = self.trace
+            protocol_active = trace.protocol_active
+            for pos, dst, message in deliveries:
+                t = float(run_times[pos])
+                if metrics_active:
+                    metrics.on_urb_deliver(t, dst, message.content)
+                if protocol_active:
+                    trace.record(t, TraceCategory.URB_DELIVER, dst,
+                                 content=message.content, tag=message.tag)
+            for consumer in touched:
+                consumer.run_delivered_pos.clear()
+        return ack_idx.size + msg_idx.size
 
     def _merge_sliced(self, window: float) -> tuple[int, int]:
         """Main loop: dispatch slice-merged chunk entries + queue events.
@@ -809,3 +1219,12 @@ class VectorizedEngine(SimulationEngine):
     #: per-event fallback (super().run()) never sets it.
     _fast_active: bool = False
     _batch_pending: int = 0
+    #: Payload interning table + per-process consumers of the current run;
+    #: ``None`` whenever the batched receiver is not active (broadcast_from
+    #: then skips interning entirely).
+    _interner: Optional[PayloadInterner] = None
+    _consumers: Optional[list] = None
+    #: Cached obs instrument handles (resolved once per run, outside the
+    #: hot loop); ``None`` when obs is disabled.
+    _batched_consumed_counter: Any = None
+    _consume_width_hist: Any = None

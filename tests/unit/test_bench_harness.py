@@ -94,6 +94,19 @@ class TestBaselineCompare:
         current = [make_result(harness, name="brand_new")]
         assert harness.compare_to_baseline(current, {}) == []
 
+    def test_mode_mismatch_is_skipped(self, harness):
+        # A quick run must not be gated against a full-size baseline entry
+        # (different problem sizes), and vice versa.
+        full_baseline = {
+            "dummy": make_result(harness, events_per_sec=1000.0,
+                                 quick=False).as_dict()
+        }
+        quick_run = [make_result(harness, events_per_sec=100.0, quick=True)]
+        assert harness.compare_to_baseline(quick_run, full_baseline) == []
+        full_run = [make_result(harness, events_per_sec=900.0, quick=False)]
+        (comparison,) = harness.compare_to_baseline(full_run, full_baseline)
+        assert not comparison.regressed
+
     def test_wall_time_fallback_for_experiment_scenarios(self, harness):
         baseline = {
             "exp": make_result(
@@ -154,6 +167,17 @@ class TestRunBenchmark:
         baseline = harness.load_baseline(harness.DEFAULT_BASELINE)
         assert "explore_quick" in baseline
         assert baseline["explore_quick"]["normalized_score"] > 0
+
+    def test_vectorized_quiescence_has_a_full_size_baseline_entry(
+            self, harness):
+        # The ROADMAP perf target is stated on the *full* load (n=40): the
+        # committed baseline must gate full runs, not the CI quick size.
+        baseline = harness.load_baseline(harness.DEFAULT_BASELINE)
+        assert "quiescence_vectorized" in baseline
+        entry = baseline["quiescence_vectorized"]
+        assert entry["quick"] is False
+        assert entry["events_per_sec"] >= 200_000
+        assert entry["peak_rss_kb"] < 200 * 1024
 
     def test_run_benchmark_produces_normalized_result(self, harness):
         harness.BENCH_SCENARIOS["_test_dummy"] = harness.BenchSpec(

@@ -122,6 +122,46 @@ class TestResultStore:
             assert fetched.all_properties_hold
             assert fetched.mean_latency == result.metrics.mean_latency
 
+    def test_put_many_batches_in_one_transaction(self, tmp_path):
+        scenarios = [quick_scenario(seed=s) for s in range(3)]
+        results = [run_scenario(s) for s in scenarios]
+        with ResultStore(tmp_path / "store") as store:
+            rows = store.put_many(results)
+            assert store.puts == 3
+            assert [row.cell_key for row in rows] == [
+                scenario_cell_key(s) for s in scenarios
+            ]
+            for row, result in zip(rows, results):
+                assert store.get(row.cell_key, count=False) == row
+                payload = store.load(row.cell_key)
+                assert payload["scenario"] == result.scenario
+
+    def test_put_many_matches_individual_puts(self, tmp_path):
+        scenarios = [quick_scenario(seed=s) for s in range(2)]
+        results = [run_scenario(s) for s in scenarios]
+        keys = [scenario_cell_key(s) for s in scenarios]
+        with ResultStore(tmp_path / "one") as one:
+            single = [one.put(r, cell_key=k) for r, k in zip(results, keys)]
+        with ResultStore(tmp_path / "many") as many:
+            batched = many.put_many(results, cell_keys=keys)
+        for a, b in zip(single, batched):
+            # created_at is stamped at write time; everything else must be
+            # byte-for-byte what the one-at-a-time path stores.
+            assert a == b.__class__(**{**b.__dict__,
+                                       "created_at": a.created_at})
+
+    def test_put_many_rejects_mismatched_key_count(self, tmp_path):
+        result = run_scenario(quick_scenario())
+        with ResultStore(tmp_path / "store") as store:
+            with pytest.raises(StoreError):
+                store.put_many([result], cell_keys=["a", "b"])
+            assert store.puts == 0
+
+    def test_put_many_empty_is_a_noop(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            assert store.put_many([]) == []
+            assert store.puts == 0 and len(store) == 0
+
     def test_load_rebuilds_scenario_and_provenance(self, tmp_path):
         scenario = quick_scenario(seed=5)
         result = run_scenario(scenario)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.experiments.config import Scenario
 from repro.experiments.parity import (
     compare_engines,
@@ -126,6 +127,74 @@ def test_hooks_force_per_event_dispatch():
     engine = build_engine(scenario)
     engine.run()
     assert engine.dispatch_mode == "per-event"
+
+
+# --------------------------------------------------------------------------- #
+# fallback reasons: one test per _fallback_reason() branch, each asserting
+# the mode attributes AND the repro_engine_fallback_total reason label
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def obs_on():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+
+
+def _fallback_count(reason):
+    counter = obs.REGISTRY.get("repro_engine_fallback_total")
+    assert counter is not None, "fallback counter never created"
+    return counter.value(reason=reason)
+
+
+def test_controller_fallback_reason_counted(obs_on):
+    scenario = CASES["bernoulli-uniform"].with_(
+        explore_strategy="random_walk", explore_index=0, max_time=40.0)
+    run = run_fingerprint(scenario, "vectorized")
+    assert run.dispatch_mode == "per-event"
+    assert run.consume_mode is None
+    assert _fallback_count("controller") == 1
+
+
+def test_hooks_fallback_reason_counted(obs_on):
+    from repro.simulation.hooks import DeliveryTimelineHook
+
+    scenario = CASES["bernoulli-uniform"].with_(
+        hooks=(DeliveryTimelineHook(),))
+    run = run_fingerprint(scenario, "vectorized")
+    assert run.dispatch_mode == "per-event"
+    assert run.consume_mode is None
+    assert _fallback_count("hooks") == 1
+
+
+def test_full_trace_fallback_reason_counted(obs_on):
+    run = run_fingerprint(CASES["bernoulli-uniform"], "vectorized",
+                          trace_level=TraceLevel.FULL)
+    assert run.dispatch_mode == "per-event"
+    assert run.consume_mode is None
+    assert _fallback_count("full_trace") == 1
+
+
+def test_no_positive_min_delay_falls_back_to_boxed_consumption(obs_on):
+    # Exponential delays are unbounded below: no positive slice window, so
+    # dispatch stays batched but deliveries are consumed boxed per-entry.
+    run = run_fingerprint(CASES["bernoulli-exponential"], "vectorized")
+    assert run.dispatch_mode == "batched"
+    assert run.consume_mode == "boxed"
+    assert _fallback_count("no_positive_min_delay") == 1
+
+
+def test_batched_receiver_records_consumed_and_width(obs_on):
+    run = run_fingerprint(CASES["bernoulli-uniform"], "vectorized")
+    assert run.dispatch_mode == "batched"
+    assert run.consume_mode == "batched"
+    fallbacks = obs.REGISTRY.get("repro_engine_fallback_total")
+    assert fallbacks is None or not any(v for _, v in fallbacks.samples())
+    consumed = obs.REGISTRY.get("repro_engine_batched_consumed_total")
+    assert consumed is not None and consumed.value() > 0
+    width = obs.REGISTRY.get("repro_engine_consume_width")
+    ((_, (_, _, count)),) = width.samples()
+    assert count > 0
 
 
 # --------------------------------------------------------------------------- #
